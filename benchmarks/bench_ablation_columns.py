@@ -1,0 +1,58 @@
+"""Ablation: n vs n+1 columns (§IV-D's 12.5% throughput argument).
+
+The paper's two observations squeeze Algorithm 2 into n columns; the
+vanilla algorithm needs n+1.  For 32-bit operands in a 256-column array
+that is 8 vs 7 parallel multiplications — 12.5% throughput.  This bench
+reproduces the arithmetic, verifies both variants compute the same
+function, and quantifies this reproduction's finding about when the
+n-column variant is actually safe (M < 2^(n-1)).
+"""
+
+import random
+
+from repro.mont.bitparallel import (
+    bp_modmul,
+    bp_modmul_vanilla,
+    montgomery_expected,
+    safe_modulus_bound,
+)
+
+
+def parallel_ops(array_cols: int, operand_cols: int) -> int:
+    return array_cols // operand_cols
+
+
+def test_column_ablation(artifact_writer, benchmark):
+    n_col = parallel_ops(256, 32)        # optimized layout
+    vanilla_col = parallel_ops(256, 33)  # vanilla layout
+    loss = 1 - vanilla_col / n_col
+
+    rng = random.Random(99)
+    m = 2147483647  # 31-bit Mersenne prime < 2^31 = safe bound for w=32
+
+    def both_variants():
+        a, b = rng.randrange(m), rng.randrange(m)
+        expected = montgomery_expected(a, b, m, 32)
+        assert bp_modmul(a, b, m, 32) == expected
+        assert bp_modmul_vanilla(a, b, m, 32) == expected
+        return expected
+
+    benchmark(both_variants)
+
+    text = "\n".join(
+        [
+            "Column-count ablation, 32-bit operands, 256-column array:",
+            f"  n columns (optimized)   : {n_col} parallel modmuls",
+            f"  n+1 columns (vanilla)   : {vanilla_col} parallel modmuls",
+            f"  throughput loss         : {loss:.1%} (paper: 12.5%)",
+            "",
+            "Reproduction finding: the n-column optimization is provably",
+            f"safe only for M < 2^(n-1) (e.g. w=32: M <= {safe_modulus_bound(32)});",
+            "tight moduli like Dilithium's q = 0.999 * 2^23 need the",
+            "vanilla n+1-column layout (see EXPERIMENTS.md).",
+        ]
+    )
+    artifact_writer("ablation_columns", text)
+
+    assert n_col == 8 and vanilla_col == 7
+    assert abs(loss - 0.125) < 1e-9

@@ -1,0 +1,30 @@
+"""Fig 1: roofline placement of the lattice-crypto kernels.
+
+Regenerates the figure's data — per-kernel arithmetic intensity and the
+binding roof — for the Dilithium and Kyber parameter sets, and asserts
+the paper's observation: the kernels are bounded by the L1/L2 bandwidth
+roofs, not by DRAM bandwidth and not by compute.
+"""
+
+import pytest
+
+from repro.analysis.roofline import (
+    DEFAULT_MACHINE,
+    format_roofline,
+    lattice_kernel_profiles,
+)
+from repro.ntt.params import get_params
+
+
+@pytest.mark.parametrize("name", ["dilithium", "kyber-v1"])
+def test_fig1_roofline(name, artifact_writer, benchmark):
+    params = get_params(name)
+    profiles = benchmark(lattice_kernel_profiles, params)
+    text = f"[{params.name}]\n" + format_roofline(profiles, DEFAULT_MACHINE)
+    artifact_writer(f"fig1_roofline_{name}", text)
+
+    for profile in profiles:
+        roof = profile.binding_roof(DEFAULT_MACHINE)
+        assert roof in ("L1", "L2"), (
+            f"{profile.name} should be cache-bandwidth bound, got {roof}"
+        )

@@ -1,0 +1,31 @@
+"""Fig 6: the worked 3-bit bit-parallel modular multiplication example.
+
+Reproduces every intermediate register value of the figure (A=4, B=3,
+M=7: P stays 0 for two iterations, then Sum=001/Carry=010, P=5) and
+benchmarks the functional Algorithm 2 at the Table I operand width.
+"""
+
+from repro.mont.bitparallel import (
+    bp_modmul,
+    bp_modmul_traced,
+    format_trace,
+    montgomery_expected,
+)
+
+
+def test_fig6_example_trace(artifact_writer, benchmark):
+    result = bp_modmul_traced(4, 3, 7, 3)
+    artifact_writer("fig6_trace", format_trace(result))
+
+    # The figure's register values, step by step.
+    assert result.iterations[0].partial_value == 0
+    assert result.iterations[1].partial_value == 0
+    assert result.iterations[2].a_bit == 1
+    assert result.sum_bits == 0b001
+    assert result.carry_bits == 0b010
+    assert result.raw_value == 5
+    assert result.result == (4 * 3) % 7  # R == 1 mod 7 makes AR == A
+
+    # Benchmark Algorithm 2 at the paper's 16-bit operating point.
+    out = benchmark(bp_modmul, 0x2B5A, 0x1F3C, 12289, 16)
+    assert out == montgomery_expected(0x2B5A, 0x1F3C, 12289, 16)

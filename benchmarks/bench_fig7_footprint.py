@@ -1,0 +1,19 @@
+"""Fig 7: memory footprint of BP-NTT vs MeNTT vs RM-NTT.
+
+Regenerates the 32-bit 128-point comparison: 4,288 vs 16,640 vs 524,288
+cells, derived from each design's data organization.
+"""
+
+from repro.analysis.footprint import fig7_comparison, format_fig7
+
+
+def test_fig7_footprint(artifact_writer, benchmark):
+    entries = benchmark(fig7_comparison, 128, 32)
+    artifact_writer("fig7_footprint", format_fig7(entries))
+
+    cells = {e.design: e.cells for e in entries}
+    # The paper's exact numbers.
+    assert cells == {"BP-NTT": 4288, "MeNTT": 16640, "RM-NTT": 524288}
+    # And the shape: BP-NTT smallest by ~3.9x and ~122x.
+    assert 3.5 < cells["MeNTT"] / cells["BP-NTT"] < 4.5
+    assert 100 < cells["RM-NTT"] / cells["BP-NTT"] < 140

@@ -1,0 +1,37 @@
+"""Fig 8(a): clock count and energy vs coefficient bitwidth (order 256).
+
+Regenerates the sweep from compiled instruction schedules.  Expected
+shape (§V-E): clock count grows with bitwidth; the energy-per-NTT curve
+is steeper because the number of transforms computed in parallel shrinks
+as floor(256 / w).
+
+The paper plots from 2 bits; widths below 4 admit no odd modulus and
+violate Algorithm 2's ``n > 2`` precondition, so the series starts at 4
+(recorded in EXPERIMENTS.md).
+"""
+
+from repro.analysis.sweeps import format_sweep, sweep_bitwidths
+
+
+def test_fig8a_bitwidth_sweep(artifact_writer, benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_bitwidths((4, 8, 16, 32, 64), order=256),
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer("fig8a_bitwidth", format_sweep(points, "bitwidth"))
+
+    by_width = {p.width: p for p in points}
+    # Clock count strictly increases with bitwidth.
+    widths = sorted(by_width)
+    cycles = [by_width[w].cycles for w in widths]
+    assert cycles == sorted(cycles)
+    # Roughly linear growth in cycles (x2 width -> ~x2 cycles).
+    assert 1.6 < by_width[32].cycles / by_width[16].cycles < 2.6
+    # Energy per NTT grows steeper than the clock count at every doubling.
+    for lo, hi in zip(widths, widths[1:]):
+        cycle_ratio = by_width[hi].cycles / by_width[lo].cycles
+        energy_ratio = (
+            by_width[hi].energy_per_ntt_nj / by_width[lo].energy_per_ntt_nj
+        )
+        assert energy_ratio > cycle_ratio, (lo, hi)

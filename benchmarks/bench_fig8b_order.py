@@ -1,0 +1,34 @@
+"""Fig 8(b): clock count and energy vs polynomial order (16-bit coeffs).
+
+Expected shape (§V-E): both curves grow superlinearly — n log n
+butterflies, plus the cross-tile spill shifts past one tile's
+250-coefficient capacity, plus a shrinking parallel batch.  At 16-bit
+coefficients a 256x256 subarray tops out at 4000 points (4096 does not
+fit, which the sweep records as infeasible).
+"""
+
+from repro.analysis.sweeps import format_sweep, sweep_orders, sweep_point
+
+
+def test_fig8b_order_sweep(artifact_writer, benchmark):
+    orders = (16, 32, 64, 128, 256, 512, 1024, 2048)
+    points = benchmark.pedantic(
+        lambda: sweep_orders(orders, width=16), rounds=1, iterations=1
+    )
+    text = format_sweep(points, "order")
+    text += "\n    4096: infeasible (needs 17 tiles of 16; subarray has 16)"
+    artifact_writer("fig8b_order", text)
+
+    by_order = {p.order: p for p in points}
+    assert list(by_order) == list(orders)
+    # Superlinear clock count: doubling the order more than doubles cycles.
+    for lo, hi in zip(orders, orders[1:]):
+        assert by_order[hi].cycles > 2 * by_order[lo].cycles
+    # Spill overhead: shifts per butterfly jump once orders exceed 250.
+    resident = by_order[128]
+    spilled = by_order[512]
+    assert (
+        spilled.shift_ops / spilled.cycles > resident.shift_ops / resident.cycles
+    )
+    # The capacity cliff the paper resolves with multi-subarray ganging.
+    assert sweep_point(16, 4096) is None

@@ -1,0 +1,27 @@
+"""Shared benchmark utilities.
+
+Every bench writes its rendered table/figure data to ``benchmarks/out/``
+so the artifacts survive the run (EXPERIMENTS.md references them), and
+prints it so ``pytest benchmarks/ --benchmark-only -s`` shows the rows
+the paper reports.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_writer():
+    """Returns write(name, text): persist + echo one bench artifact."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n--- {name} ({path}) ---")
+        print(text)
+
+    return write

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Flexibility sweep (the paper's §V-E / Fig 8 story, abridged).
+
+BP-NTT's selling point over fixed-function NTT hardware is that one
+subarray handles any bitwidth/order/modulus combination by reconfiguring
+the tile layout and recompiling the command stream.  This example sweeps
+both axes with the analysis cost model and prints the Fig 8 series.
+
+Run: ``python examples/flexibility_sweep.py``
+"""
+
+from repro.analysis.sweeps import format_sweep, sweep_bitwidths, sweep_orders
+from repro.core.tiles import capacity_report
+
+
+def main() -> None:
+    print("=== Fig 8(a): bitwidth sweep at order 256 ===")
+    points = sweep_bitwidths((4, 8, 16, 32, 64), order=256)
+    print(format_sweep(points, "bitwidth"))
+    print()
+
+    print("=== Fig 8(b): order sweep at 16-bit coefficients ===")
+    points = sweep_orders((16, 32, 64, 128, 256, 512, 1024, 2048), width=16)
+    print(format_sweep(points, "order"))
+    print()
+
+    print("=== Capacity map of one 256x256 subarray ===")
+    for width in (14, 16, 21, 29, 32, 64, 128, 256):
+        rep = capacity_report(width=width)
+        print(f"  {width:>3}-bit coefficients: {rep.num_tiles:>2} tiles, "
+              f"up to {rep.max_order:>5} points "
+              f"({rep.max_resident_order} per tile without spill)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""PQC workload: polynomial multiplication for Falcon and Dilithium.
+
+Polynomial multiplication (``ab = INTT(NTT(a) * NTT(b))``) is the
+O(n^2) -> O(n log n) bottleneck the paper motivates with.  This example:
+
+- multiplies Falcon-512 polynomials on the in-SRAM engine and checks the
+  result against the schoolbook O(n^2) reference,
+- shows Dilithium's tight 23-bit modulus forcing the 24-bit container
+  (the Observation-1 boundary this reproduction characterizes),
+- runs the real Kyber (q=3329) incomplete NTT on the gold model for
+  contrast.
+
+Run: ``python examples/pqc_polymul.py``
+"""
+
+import random
+
+from repro import BPNTTEngine, get_params
+from repro.core.tiles import container_width
+from repro.crypto.kyber import KYBER_Q, kyber_polymul
+from repro.ntt.transform import schoolbook_negacyclic
+
+
+def falcon_on_the_engine() -> None:
+    params = get_params("falcon512")  # n=512, q=12289
+    engine = BPNTTEngine(params, width=16)
+    print(f"Falcon-512 on {engine}")
+    print(f"  512 coefficients need {engine.layout.tiles_per_poly} tiles "
+          f"-> batch of {engine.batch} polynomials")
+
+    rng = random.Random(1)
+    batch = [
+        [rng.randrange(params.q) for _ in range(params.n)]
+        for _ in range(engine.batch)
+    ]
+    other = [rng.randrange(params.q) for _ in range(params.n)]
+
+    engine.load(batch)
+    report = engine.polymul_with(other)
+
+    expected = [schoolbook_negacyclic(poly, other, params.q) for poly in batch]
+    assert engine.results() == expected, "engine polymul mismatch"
+    print(f"  verified {engine.batch} products against schoolbook")
+    print(f"  full polymul: {report.cycles:,} cycles = "
+          f"{report.latency_s * 1e6:.1f} us, {report.energy_nj:.0f} nJ\n")
+
+
+def dilithium_container_sizing() -> None:
+    q = get_params("dilithium").q
+    print(f"Dilithium q = {q} ({q.bit_length()} bits)")
+    print(f"  q / 2^23 = {q / (1 << 23):.4f} -> Observation 1 cannot hold in "
+          f"23 columns")
+    print(f"  container_width(q) = {container_width(q)} (the n+1-column "
+          f"fallback the paper prices at 12.5% throughput)\n")
+
+
+def kyber_gold_model() -> None:
+    rng = random.Random(3)
+    a = [rng.randrange(KYBER_Q) for _ in range(256)]
+    b = [rng.randrange(KYBER_Q) for _ in range(256)]
+    product = kyber_polymul(a, b)
+    assert product == schoolbook_negacyclic(a, b, KYBER_Q)
+    print("Kyber (q=3329): incomplete 7-layer NTT + basemul verified "
+          "against schoolbook")
+
+
+def main() -> None:
+    falcon_on_the_engine()
+    dilithium_container_sizing()
+    kyber_gold_model()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment's setuptools predates PEP 660 editable installs, so
+``pip install -e . --no-build-isolation --no-use-pep517`` goes through
+this file.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

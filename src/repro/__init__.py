@@ -1,0 +1,51 @@
+"""repro — a reproduction of BP-NTT (DAC 2023).
+
+BP-NTT accelerates the Number Theoretic Transform inside standard 6T
+SRAM subarrays using a carry-save, bit-parallel Montgomery modular
+multiplication whose every step is a bitline AND/XOR/OR or a 1-bit
+shift.  This library provides:
+
+- the gold-model NTT substrate (:mod:`repro.ntt`),
+- the bit-parallel algorithm, functional and traced (:mod:`repro.mont`),
+- a cycle-level in-SRAM computing simulator (:mod:`repro.sram`),
+- the BP-NTT engine compiling NTTs to SRAM microcode (:mod:`repro.core`),
+- baseline accelerator models (:mod:`repro.baselines`),
+- every table/figure generator of the paper (:mod:`repro.analysis`),
+- PQC workloads exercising the public API (:mod:`repro.crypto`).
+
+Quick start::
+
+    from repro import BPNTTEngine, get_params
+
+    params = get_params("table1-14bit")
+    engine = BPNTTEngine(params, width=16)
+    engine.load([[1] * params.n] * engine.batch)
+    report = engine.ntt()
+    print(report.throughput_kntt_per_s, "KNTT/s")
+"""
+
+from repro.core.engine import BPNTTEngine, NTTRunReport
+from repro.errors import ReproError
+from repro.mont.bitparallel import bp_modmul, bp_modmul_traced, montgomery_expected
+from repro.ntt.params import NTTParams, get_params, list_param_names
+from repro.ntt.polynomial import Polynomial
+from repro.ntt.transform import intt, ntt, polymul_negacyclic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BPNTTEngine",
+    "NTTRunReport",
+    "ReproError",
+    "bp_modmul",
+    "bp_modmul_traced",
+    "montgomery_expected",
+    "NTTParams",
+    "get_params",
+    "list_param_names",
+    "Polynomial",
+    "intt",
+    "ntt",
+    "polymul_negacyclic",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Evaluation-section tooling: every table and figure generator.
+
+- :mod:`repro.analysis.area`      — technology-node projection utilities.
+- :mod:`repro.analysis.footprint` — Fig 7 memory-footprint comparison.
+- :mod:`repro.analysis.roofline`  — Fig 1 roofline model.
+- :mod:`repro.analysis.sweeps`    — Fig 8(a)/(b) parameter sweeps.
+- :mod:`repro.analysis.tables`    — Table I generator.
+"""
+
+from repro.analysis.area import project_area, project_energy, project_frequency
+from repro.analysis.footprint import FootprintEntry, fig7_comparison
+from repro.analysis.roofline import (
+    DEFAULT_MACHINE,
+    KernelProfile,
+    MachineModel,
+    lattice_kernel_profiles,
+)
+from repro.analysis.breakdown import phase_breakdown, sense_amp_ablation
+from repro.analysis.scaling import NodePoint, scale_design_point
+from repro.analysis.sweeps import SweepPoint, sweep_bitwidths, sweep_orders
+from repro.analysis.tables import build_table1, format_table1
+
+__all__ = [
+    "project_area",
+    "project_energy",
+    "project_frequency",
+    "FootprintEntry",
+    "fig7_comparison",
+    "DEFAULT_MACHINE",
+    "KernelProfile",
+    "MachineModel",
+    "lattice_kernel_profiles",
+    "SweepPoint",
+    "sweep_bitwidths",
+    "sweep_orders",
+    "build_table1",
+    "format_table1",
+    "phase_breakdown",
+    "sense_amp_ablation",
+    "NodePoint",
+    "scale_design_point",
+]

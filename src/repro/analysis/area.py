@@ -1,0 +1,69 @@
+"""Technology-node projection (the Table I asterisks).
+
+Table I normalizes every design to 45 nm "for an apples-to-apples
+comparison".  The standard first-order constant-field scaling rules are
+used: area scales quadratically with feature size, delay linearly
+(frequency inversely), and per-operation energy cubically (CV^2 with C
+and V each scaling linearly).
+
+For the ReRAM baselines whose papers report no area, the paper uses a
+Destiny-style optimistic bound: subarray cells only, no periphery —
+:func:`reram_subarray_area_mm2` provides that estimator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+
+def _check_nodes(from_nm: float, to_nm: float) -> None:
+    if from_nm <= 0 or to_nm <= 0:
+        raise ParameterError("technology nodes must be positive feature sizes")
+
+
+def project_area(area: float, from_nm: float, to_nm: float) -> float:
+    """Area at ``to_nm`` given area at ``from_nm`` (quadratic scaling)."""
+    _check_nodes(from_nm, to_nm)
+    return area * (to_nm / from_nm) ** 2
+
+
+def project_frequency(freq_hz: float, from_nm: float, to_nm: float) -> float:
+    """Frequency projection (gate delay scales with feature size)."""
+    _check_nodes(from_nm, to_nm)
+    return freq_hz * (from_nm / to_nm)
+
+
+def project_energy(energy_j: float, from_nm: float, to_nm: float) -> float:
+    """Per-operation energy projection (cubic: C * V^2)."""
+    _check_nodes(from_nm, to_nm)
+    return energy_j * (to_nm / from_nm) ** 3
+
+
+def project_latency(latency_s: float, from_nm: float, to_nm: float) -> float:
+    """Latency projection (inverse of frequency scaling)."""
+    _check_nodes(from_nm, to_nm)
+    return latency_s * (to_nm / from_nm)
+
+
+def reram_subarray_area_mm2(cells: int, node_nm: float = 45.0,
+                            cell_area_f2: float = 4.0) -> float:
+    """Optimistic ReRAM array area: cells x (cell_area_f2 * F^2), no periphery.
+
+    A 1T1R/crosspoint ReRAM cell occupies ~4 F^2; this mirrors the
+    paper's Destiny usage ("we ignore the peripheral overhead").
+    """
+    if cells <= 0:
+        raise ParameterError("cell count must be positive")
+    if node_nm <= 0 or cell_area_f2 <= 0:
+        raise ParameterError("node and cell area must be positive")
+    feature_mm = node_nm * 1e-6
+    return cells * cell_area_f2 * feature_mm * feature_mm
+
+
+def sram_cells_area_mm2(cells: int, node_nm: float = 45.0,
+                        cell_area_um2_at_45: float = 0.38) -> float:
+    """6T SRAM cell-array area (no periphery), scaled from the 45 nm cell."""
+    if cells <= 0:
+        raise ParameterError("cell count must be positive")
+    cell = project_area(cell_area_um2_at_45, 45.0, node_nm)
+    return cells * cell * 1e-6

@@ -1,0 +1,86 @@
+"""Cycle-breakdown analysis and sense-amplifier ablations.
+
+Two tools the paper's discussion implies but does not tabulate:
+
+- :func:`phase_breakdown` — where the butterfly's cycles go (modular
+  multiplication vs carry resolution vs add/sub vs data movement),
+  straight from the compiler's section annotations.
+- :func:`sense_amp_ablation` — what the modified SA buys: re-prices the
+  same instruction stream under technology variants where the fused
+  XOR+latch operations cost extra cycles (i.e. a conventional SA that
+  must materialize AND and XOR separately), quantifying the benefit of
+  the Fig 5(b) latch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ParameterError
+from repro.sram.energy import DEFAULT_CYCLES, DEFAULT_ENERGY_PJ, TechnologyModel
+from repro.sram.program import Program
+
+
+@dataclass(frozen=True)
+class PhaseShare:
+    """One phase's share of a program's instructions."""
+
+    phase: str
+    instructions: int
+    share: float
+
+
+def phase_breakdown(program: Program) -> List[PhaseShare]:
+    """Instruction share per compiler section, largest first."""
+    histogram = program.section_histogram()
+    total = sum(histogram.values())
+    if total == 0:
+        raise ParameterError("program has no sectioned instructions")
+    shares = [
+        PhaseShare(phase=label, instructions=count, share=count / total)
+        for label, count in histogram.items()
+    ]
+    shares.sort(key=lambda s: s.instructions, reverse=True)
+    return shares
+
+
+def format_breakdown(shares: List[PhaseShare]) -> str:
+    """Render the breakdown as aligned rows."""
+    lines = [f"{'phase':<16} {'instructions':>13} {'share':>7}"]
+    for s in shares:
+        lines.append(f"{s.phase:<16} {s.instructions:>13,} {s.share:>6.1%}")
+    return "\n".join(lines)
+
+
+def technology_variant(pair_cycles: int = 1, carry_step_cycles: int = 1,
+                       name: str = "variant") -> TechnologyModel:
+    """A tech model with modified fused-operation costs.
+
+    ``pair_cycles=2, carry_step_cycles=2`` models a conventional SA that
+    needs separate activations for the AND and XOR polarities (no Fig 5b
+    latch fusion).
+    """
+    if pair_cycles < 1 or carry_step_cycles < 1:
+        raise ParameterError("cycle costs must be at least 1")
+    cycles = dict(DEFAULT_CYCLES)
+    cycles["pair"] = pair_cycles
+    cycles["carry_step"] = carry_step_cycles
+    return TechnologyModel(name=name, cycles=cycles,
+                           energy_pj=dict(DEFAULT_ENERGY_PJ))
+
+
+def sense_amp_ablation(program: Program) -> Dict[str, int]:
+    """Cycle counts of one program under SA design variants.
+
+    Returns cycles for the modified SA (the paper's design) and for a
+    conventional SA without the fused latch path.
+    """
+    from repro.analysis.sweeps import program_cost
+
+    modified = technology_variant(1, 1, name="modified-SA")
+    conventional = technology_variant(2, 2, name="conventional-SA")
+    return {
+        "modified_sa_cycles": program_cost(program, modified)[0],
+        "conventional_sa_cycles": program_cost(program, conventional)[0],
+    }

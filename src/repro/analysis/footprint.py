@@ -1,0 +1,81 @@
+"""Fig 7: memory footprint of in-memory NTT designs.
+
+For a 32-bit, 128-point polynomial the paper reports:
+
+- BP-NTT: 4,288 SRAM cells (134 rows x 32 columns),
+- MeNTT: 16,640 SRAM cells (130 rows x 128 columns),
+- RM-NTT: 524,288 ReRAM cells (128 rows x 4,096 columns).
+
+BP-NTT's number follows directly from the Fig 5a layout: the n
+coefficient rows plus the six intermediate rows, one tile wide.  The
+baselines' numbers come from their data organizations (see
+:mod:`repro.baselines.mentt` / :mod:`repro.baselines.rmntt`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.baselines.mentt import mentt_cell_count
+from repro.baselines.rmntt import rmntt_cell_count
+from repro.core.tiles import SCRATCH_ROW_COUNT
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class FootprintEntry:
+    """One design's working-set footprint for a single NTT."""
+
+    design: str
+    cell_technology: str
+    rows: int
+    cols: int
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+
+def bpntt_cell_count(order: int, coeff_bits: int) -> int:
+    """BP-NTT cells for one NTT: (n + scratch) rows, one tile wide."""
+    if order <= 0 or coeff_bits <= 0:
+        raise ParameterError("order and coeff_bits must be positive")
+    return (order + SCRATCH_ROW_COUNT) * coeff_bits
+
+
+def fig7_comparison(order: int = 128, coeff_bits: int = 32) -> List[FootprintEntry]:
+    """The Fig 7 bar chart as structured data."""
+    return [
+        FootprintEntry(
+            design="BP-NTT",
+            cell_technology="SRAM",
+            rows=order + SCRATCH_ROW_COUNT,
+            cols=coeff_bits,
+        ),
+        FootprintEntry(
+            design="MeNTT",
+            cell_technology="SRAM",
+            rows=order + 2,
+            cols=mentt_cell_count(order, coeff_bits) // (order + 2),
+        ),
+        FootprintEntry(
+            design="RM-NTT",
+            cell_technology="ReRAM",
+            rows=order,
+            cols=rmntt_cell_count(order, coeff_bits) // order,
+        ),
+    ]
+
+
+def format_fig7(entries: List[FootprintEntry]) -> str:
+    """Render the comparison as the paper reports it."""
+    lines = [f"Memory footprint, {entries[0].rows - SCRATCH_ROW_COUNT}-point polynomial:"]
+    base = entries[0].cells
+    for e in entries:
+        ratio = e.cells / base
+        lines.append(
+            f"  {e.design:<8} {e.cells:>8,} {e.cell_technology} cells "
+            f"({e.rows} rows x {e.cols} cols, {ratio:.1f}x BP-NTT)"
+        )
+    return "\n".join(lines)

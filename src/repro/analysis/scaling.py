@@ -1,0 +1,88 @@
+"""Technology-node scaling of the BP-NTT design point.
+
+Table I fixes everything at 45 nm; a natural question for an adopter is
+how the design point moves with the process.  This module projects the
+measured (cycles, energy, area) operating point across nodes using the
+same first-order rules as :mod:`repro.analysis.area`, yielding the
+latency/throughput/TA/TP trajectory.  Because cycles are
+node-independent (the schedule does not change), the projection is
+exact given the scaling rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.analysis.area import project_area, project_energy, project_frequency
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class NodePoint:
+    """BP-NTT's operating point at one technology node."""
+
+    node_nm: float
+    frequency_hz: float
+    latency_s: float
+    energy_j: float
+    area_mm2: float
+    batch: int
+
+    @property
+    def throughput_kntt_per_s(self) -> float:
+        return self.batch / self.latency_s / 1e3
+
+    @property
+    def throughput_per_area(self) -> float:
+        return self.throughput_kntt_per_s / self.area_mm2
+
+    @property
+    def throughput_per_power(self) -> float:
+        return self.batch / (self.energy_j * 1e3) / 1e3
+
+
+def scale_design_point(
+    *,
+    cycles: int,
+    energy_j: float,
+    area_mm2: float,
+    batch: int,
+    base_frequency_hz: float = 3.8e9,
+    base_node_nm: float = 45.0,
+    nodes_nm: Iterable[float] = (65.0, 45.0, 28.0, 22.0, 16.0),
+) -> List[NodePoint]:
+    """Project one measured operating point across technology nodes."""
+    if cycles <= 0 or energy_j <= 0 or area_mm2 <= 0 or batch <= 0:
+        raise ParameterError("operating-point quantities must be positive")
+    points = []
+    for node in nodes_nm:
+        freq = project_frequency(base_frequency_hz, base_node_nm, node)
+        points.append(
+            NodePoint(
+                node_nm=node,
+                frequency_hz=freq,
+                latency_s=cycles / freq,
+                energy_j=project_energy(energy_j, base_node_nm, node),
+                area_mm2=project_area(area_mm2, base_node_nm, node),
+                batch=batch,
+            )
+        )
+    return points
+
+
+def format_scaling(points: List[NodePoint]) -> str:
+    """Render the node trajectory as aligned rows."""
+    header = (
+        f"{'node':>6} {'f(GHz)':>8} {'lat(us)':>9} {'tput(K/s)':>10} "
+        f"{'E(nJ)':>8} {'area(mm2)':>10} {'TA':>8} {'TP':>8}"
+    )
+    lines = [header]
+    for p in points:
+        lines.append(
+            f"{p.node_nm:>4.0f}nm {p.frequency_hz / 1e9:>8.2f} "
+            f"{p.latency_s * 1e6:>9.2f} {p.throughput_kntt_per_s:>10.1f} "
+            f"{p.energy_j * 1e9:>8.1f} {p.area_mm2:>10.4f} "
+            f"{p.throughput_per_area:>8.0f} {p.throughput_per_power:>8.1f}"
+        )
+    return "\n".join(lines)

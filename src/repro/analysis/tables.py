@@ -1,0 +1,125 @@
+"""Table I generator: BP-NTT (measured) against every baseline.
+
+The BP-NTT rows come from actually executing the compiled 256-point NTT
+on the cycle-level subarray simulator; the competitor rows are the
+published 45 nm-projected numbers encoded in :mod:`repro.baselines`.
+A "BP-NTT (paper)" row carries the original Table I values so the bench
+output shows reproduction deltas explicitly.
+
+Note on parallelism: this reproduction finds that a 256-point
+polynomial does not fit a 250-coefficient tile, so two tiles per
+polynomial are required and the measured batch is 8, not the paper's
+implied 16 (see EXPERIMENTS.md).  The generator therefore also emits a
+derived row at the paper's 16-way assumption for comparability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.baselines import ALL_BASELINES
+from repro.baselines.base import AcceleratorModel, bp_ntt_model_from_report
+from repro.core.engine import BPNTTEngine
+from repro.ntt.params import get_params
+
+#: The original Table I BP-NTT row, kept for delta reporting.
+BP_NTT_PAPER = AcceleratorModel(
+    name="BP-NTT (paper)",
+    technology="In-SRAM",
+    coeff_bits=16,
+    max_freq_hz=3.8e9,
+    latency_s=61.9e-6,
+    batch=16.0,
+    energy_j=69.4e-9,
+    area_mm2=0.063,
+    node_nm=45.0,
+    provenance="Table I as published",
+)
+
+
+def measure_bp_ntt(width: int = 16, param_name: str = "table1-14bit",
+                   seed: int = 7) -> tuple:
+    """Run the 256-point NTT on the simulator; returns (model, report, engine)."""
+    params = get_params(param_name)
+    engine = BPNTTEngine(params, width=width)
+    rng = random.Random(seed)
+    engine.load(
+        [
+            [rng.randrange(params.q) for _ in range(params.n)]
+            for _ in range(engine.batch)
+        ]
+    )
+    report = engine.ntt()
+    model = bp_ntt_model_from_report(
+        report,
+        area_mm2=engine.area_mm2,
+        freq_hz=engine.tech.frequency_hz,
+        coeff_bits=width,
+        label="BP-NTT (measured)",
+        provenance=f"cycle-level simulation, batch={engine.batch} (2 tiles/poly)",
+    )
+    return model, report, engine
+
+
+def build_table1(include_paper_row: bool = True,
+                 measured: Optional[AcceleratorModel] = None) -> List[AcceleratorModel]:
+    """Assemble the full Table I row list."""
+    if measured is None:
+        measured, _, _ = measure_bp_ntt()
+    rows = [measured]
+    # Derived row at the paper's 16-way parallelism assumption: same
+    # schedule and energy-per-transform, batch scaled to 16.
+    scale = 16.0 / measured.batch
+    rows.append(
+        replace(
+            measured,
+            name="BP-NTT (16-way assumption)",
+            batch=16.0,
+            energy_j=measured.energy_j * scale,
+            provenance="measured row rescaled to the paper's implied batch",
+        )
+    )
+    if include_paper_row:
+        rows.append(BP_NTT_PAPER)
+    rows.extend(ALL_BASELINES)
+    return rows
+
+
+def format_table1(rows: List[AcceleratorModel]) -> str:
+    """Render Table I with the paper's columns."""
+    header = (
+        f"{'Design':<26} {'Tech':<8} {'Bits':>4} {'MaxF(MHz)':>10} "
+        f"{'Lat(us)':>9} {'Tput(KNTT/s)':>13} {'E(nJ)':>10} "
+        f"{'Area(mm2)':>10} {'TA':>8} {'TP':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for m in rows:
+        r = m.table_row()
+        area = f"{r['area_mm2']:.3f}" if r["area_mm2"] is not None else "-"
+        ta = f"{r['ta']:.0f}" if r["ta"] is not None else "-"
+        lines.append(
+            f"{r['design']:<26} {r['tech']:<8} {r['bits']:>4} {r['freq_mhz']:>10.0f} "
+            f"{r['latency_us']:>9.2f} {r['tput_kntt_s']:>13.1f} {r['energy_nj']:>10.1f} "
+            f"{area:>10} {ta:>8} {r['tp']:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def headline_ratios(rows: List[AcceleratorModel]) -> dict:
+    """The paper's headline claims recomputed from a row list.
+
+    Returns TA and TP ratios of the first (BP-NTT) row over each
+    baseline — the "up to 29x TA" / "10-138x TP" statements.
+    """
+    bp = rows[0]
+    ratios = {}
+    for m in rows:
+        if m.name.startswith("BP-NTT"):
+            continue
+        entry = {"tp_ratio": bp.throughput_per_power / m.throughput_per_power}
+        if m.throughput_per_area and bp.throughput_per_area:
+            entry["ta_ratio"] = bp.throughput_per_area / m.throughput_per_area
+        ratios[m.name] = entry
+    return ratios

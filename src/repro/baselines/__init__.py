@@ -1,0 +1,39 @@
+"""Baseline accelerator models for the Table I comparison.
+
+Each module wraps one comparison design as an
+:class:`~repro.baselines.base.AcceleratorModel` carrying its reported
+(45 nm-projected) operating point for a 256-point NTT, with provenance
+notes, plus — where the paper makes structural claims about a baseline
+(memory footprint, shift counts) — a small analytical model deriving
+those numbers from the design's data organization.
+
+The BP-NTT rows of Table I are *measured* from the cycle-level engine;
+only the competitors use reported numbers, exactly as the paper does.
+"""
+
+from repro.baselines.base import AcceleratorModel, bp_ntt_model_from_report
+from repro.baselines.mentt import MENTT, mentt_cell_count
+from repro.baselines.cryptopim import CRYPTOPIM
+from repro.baselines.rmntt import RMNTT, rmntt_cell_count
+from repro.baselines.asic import LEIA, SAPPHIRE
+from repro.baselines.fpga import FPGA_NTT
+from repro.baselines.cpu import CPU_NTT
+from repro.baselines.bitserial import BitSerialShiftModel
+
+ALL_BASELINES = [MENTT, CRYPTOPIM, RMNTT, LEIA, SAPPHIRE, FPGA_NTT, CPU_NTT]
+
+__all__ = [
+    "AcceleratorModel",
+    "bp_ntt_model_from_report",
+    "MENTT",
+    "mentt_cell_count",
+    "CRYPTOPIM",
+    "RMNTT",
+    "rmntt_cell_count",
+    "LEIA",
+    "SAPPHIRE",
+    "FPGA_NTT",
+    "CPU_NTT",
+    "BitSerialShiftModel",
+    "ALL_BASELINES",
+]

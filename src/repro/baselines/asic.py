@@ -1,0 +1,35 @@
+"""ASIC baselines: LEIA [CICC 2018] and Sapphire [Banerjee et al. 2019].
+
+Both are dedicated lattice-crypto processors; Table I projects them to
+45 nm for the comparison.  Their strength is latency (hand-scheduled
+datapaths); their weakness in the paper's metrics is area — a full
+custom chip (LEIA: 1.77 mm^2) amortizes poorly per NTT.
+"""
+
+from repro.baselines.base import AcceleratorModel
+
+LEIA = AcceleratorModel(
+    name="LEIA",
+    technology="ASIC",
+    coeff_bits=14,
+    max_freq_hz=267e6,
+    latency_s=0.6e-6,
+    batch=1.0,
+    energy_j=44.1e-9,
+    area_mm2=1.77,
+    node_nm=45.0,
+    provenance="Table I (projected to 45nm from 40nm CICC 2018 silicon)",
+)
+
+SAPPHIRE = AcceleratorModel(
+    name="Sapphire",
+    technology="ASIC",
+    coeff_bits=14,
+    max_freq_hz=64e6,
+    latency_s=20.1e-6,
+    batch=1.0,
+    energy_j=236.3e-9,
+    area_mm2=0.354,
+    node_nm=45.0,
+    provenance="Table I (projected to 45nm; configurable crypto-processor)",
+)

@@ -1,0 +1,115 @@
+"""Common accelerator operating-point model and Table I metric algebra.
+
+Table I reports, per design: coefficient bitwidth, max frequency,
+latency, throughput, energy, area, throughput-per-area and
+throughput-per-power.  The derived columns follow from the primary ones:
+
+- ``throughput = batch / latency`` (several designs pipeline or batch
+  more than one NTT; the batch is recoverable as throughput x latency),
+- ``TA = throughput / area``,
+- ``TP = throughput / (energy / latency) = batch / energy``.
+
+:class:`AcceleratorModel` stores the primary quantities and computes the
+derived ones, so every number in the reproduced table is arithmetic
+over declared inputs rather than a transcription.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class AcceleratorModel:
+    """One design's operating point for a 256-point NTT.
+
+    Attributes:
+        name: design label as used in Table I.
+        technology: implementation substrate (In-SRAM, ReRAM, ASIC, ...).
+        coeff_bits: coefficient bitwidth of the evaluated configuration.
+        max_freq_hz: peak clock.
+        latency_s: one-batch NTT latency.
+        batch: transforms completed per ``latency_s`` window.
+        energy_j: energy per batch.
+        area_mm2: silicon area (None when the source does not report it).
+        node_nm: technology node the numbers are valid at.
+        provenance: where the numbers come from.
+    """
+
+    name: str
+    technology: str
+    coeff_bits: int
+    max_freq_hz: float
+    latency_s: float
+    batch: float
+    energy_j: float
+    area_mm2: Optional[float]
+    node_nm: float = 45.0
+    provenance: str = ""
+
+    def __post_init__(self) -> None:
+        if self.latency_s <= 0 or self.batch <= 0 or self.energy_j <= 0:
+            raise ParameterError(f"{self.name}: primary quantities must be positive")
+
+    @property
+    def throughput_ntt_per_s(self) -> float:
+        """Completed transforms per second."""
+        return self.batch / self.latency_s
+
+    @property
+    def throughput_kntt_per_s(self) -> float:
+        """Table I's throughput column (KNTT/s)."""
+        return self.throughput_ntt_per_s / 1e3
+
+    @property
+    def power_w(self) -> float:
+        """Average power over a batch."""
+        return self.energy_j / self.latency_s
+
+    @property
+    def throughput_per_area(self) -> Optional[float]:
+        """KNTT/s/mm^2, or None without an area figure."""
+        if self.area_mm2 is None:
+            return None
+        return self.throughput_kntt_per_s / self.area_mm2
+
+    @property
+    def throughput_per_power(self) -> float:
+        """KNTT/mJ: transforms per unit energy."""
+        return self.batch / (self.energy_j * 1e3) / 1e3
+
+    def table_row(self) -> dict:
+        """The Table I row as a dict of printable values."""
+        return {
+            "design": self.name,
+            "tech": self.technology,
+            "bits": self.coeff_bits,
+            "freq_mhz": self.max_freq_hz / 1e6,
+            "latency_us": self.latency_s * 1e6,
+            "tput_kntt_s": self.throughput_kntt_per_s,
+            "energy_nj": self.energy_j * 1e9,
+            "area_mm2": self.area_mm2,
+            "ta": self.throughput_per_area,
+            "tp": self.throughput_per_power,
+        }
+
+
+def bp_ntt_model_from_report(report, area_mm2: float, freq_hz: float,
+                             coeff_bits: int, label: str = "BP-NTT (measured)",
+                             provenance: str = "") -> AcceleratorModel:
+    """Build a comparable model from an engine :class:`NTTRunReport`."""
+    return AcceleratorModel(
+        name=label,
+        technology="In-SRAM",
+        coeff_bits=coeff_bits,
+        max_freq_hz=freq_hz,
+        latency_s=report.latency_s,
+        batch=report.batch,
+        energy_j=report.energy_nj * 1e-9,
+        area_mm2=area_mm2,
+        node_nm=45.0,
+        provenance=provenance or "measured on the cycle-level simulator",
+    )

@@ -1,0 +1,47 @@
+"""CPU baseline (x86 software NTT, as cited from the CryptoPIM paper).
+
+Table I: 16-bit coefficients at 2 GHz, 85 us per 256-point NTT, 570 uJ.
+Like the paper we leave the area columns empty (a general-purpose core
+is not comparable), keeping the row as the energy-efficiency yardstick:
+the CPU pays roughly four orders of magnitude more energy per transform
+than in-SRAM computing.
+
+:func:`measured_software_ntt_seconds` additionally times this library's
+own gold-model NTT so the examples can contrast a Python software
+baseline with the simulated accelerator.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.base import AcceleratorModel
+from repro.ntt.params import NTTParams
+from repro.ntt.transform import ntt_negacyclic
+from repro.ntt.twiddles import TwiddleTable
+
+CPU_NTT = AcceleratorModel(
+    name="CPU",
+    technology="x86",
+    coeff_bits=16,
+    max_freq_hz=2e9,
+    latency_s=85e-6,
+    batch=1.0,
+    energy_j=570e-6,
+    area_mm2=None,
+    node_nm=45.0,
+    provenance="Table I (x86 measurement cited from CryptoPIM)",
+)
+
+
+def measured_software_ntt_seconds(params: NTTParams, repeats: int = 5) -> float:
+    """Wall-clock seconds per gold-model NTT on this machine (median)."""
+    table = TwiddleTable(params)
+    poly = list(range(params.n))
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ntt_negacyclic(poly, params, table)
+        timings.append(time.perf_counter() - start)
+    timings.sort()
+    return timings[len(timings) // 2]

@@ -1,0 +1,26 @@
+"""CryptoPIM [Nejatollahi et al., DAC 2020] — ReRAM NTT baseline.
+
+Table I operating point (45 nm): 16-bit coefficients, 909 MHz, 68.7 us
+latency, 553.3 KNTT/s (a deep cross-array pipeline keeps ~38 transforms
+in flight), 2.6 uJ per batch.  The paper estimates its area (0.152 mm^2)
+with Destiny from the subarrays alone, ignoring the fixed interconnect —
+an optimistic bound it calls out explicitly.
+"""
+
+from repro.baselines.base import AcceleratorModel
+
+#: batch = throughput x latency = 553.3e3 * 68.7e-6 = 38 transforms.
+_BATCH = 553.3e3 * 68.7e-6
+
+CRYPTOPIM = AcceleratorModel(
+    name="CryptoPIM",
+    technology="ReRAM",
+    coeff_bits=16,
+    max_freq_hz=909e6,
+    latency_s=68.7e-6,
+    batch=_BATCH,
+    energy_j=2.6e-6,
+    area_mm2=0.152,
+    node_nm=45.0,
+    provenance="Table I (area via Destiny, subarrays only)",
+)

@@ -1,0 +1,22 @@
+"""FPGA baseline [Nejatollahi et al., ICASSP 2020 array processor].
+
+Table I lists it at 16-bit coefficients, 164 MHz, 24.3 us and 3.06 uJ
+per 256-point NTT, with no comparable area figure (FPGA fabric area is
+not meaningfully convertible to mm^2 of ASIC silicon), so the TA column
+stays empty — exactly as in the paper.
+"""
+
+from repro.baselines.base import AcceleratorModel
+
+FPGA_NTT = AcceleratorModel(
+    name="FPGA",
+    technology="FPGA",
+    coeff_bits=16,
+    max_freq_hz=164e6,
+    latency_s=24.3e-6,
+    batch=1.0,
+    energy_j=3061e-9,
+    area_mm2=None,
+    node_nm=45.0,
+    provenance="Table I (projected; no comparable area figure)",
+)

@@ -1,0 +1,47 @@
+"""MeNTT [Li et al., IEEE VLSI 2022] — bit-serial in-SRAM NTT baseline.
+
+Table I operating point (projected to 45 nm by the paper): 14-bit
+coefficients, 218 MHz, 15.9 us per 256-point NTT (one at a time),
+47.8 nJ, 0.173 mm^2.
+
+MeNTT arranges each polynomial down SRAM *columns* and computes
+bit-serially with near-memory adders/subtractors/comparators; the fixed
+inter-array routing and that peripheral logic are what the paper charges
+for its area and inflexibility.  :func:`mentt_cell_count` reproduces the
+Fig 7 footprint arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import AcceleratorModel
+from repro.errors import ParameterError
+
+MENTT = AcceleratorModel(
+    name="MeNTT",
+    technology="In-SRAM",
+    coeff_bits=14,
+    max_freq_hz=218e6,
+    latency_s=15.9e-6,
+    batch=1.0,
+    energy_j=47.8e-9,
+    area_mm2=0.173,
+    node_nm=45.0,
+    provenance="Table I (projected to 45nm from the MeNTT paper)",
+)
+
+
+def mentt_cell_count(order: int, coeff_bits: int) -> int:
+    """SRAM cells MeNTT needs for one NTT working set (Fig 7).
+
+    MeNTT's mapping keeps the n coefficients plus two guard/transfer
+    rows down each column group and needs four column groups of
+    ``coeff_bits`` bitlines (ping-pong operand and result banks for the
+    bit-serial dataflow).  For the Fig 7 configuration (128-point,
+    32-bit) this is 130 rows x 128 columns = 16,640 cells, the number
+    the paper quotes.
+    """
+    if order <= 0 or coeff_bits <= 0:
+        raise ParameterError("order and coeff_bits must be positive")
+    rows = order + 2
+    cols = 4 * coeff_bits
+    return rows * cols

@@ -1,0 +1,40 @@
+"""RM-NTT [Park et al., IEEE JxCDC 2022] — ReRAM vector-matrix baseline.
+
+RM-NTT computes the transform as a full n x n matrix-vector product in
+ReRAM crossbars instead of an FFT-style butterfly network — very low
+latency (0.45 us) but a memory footprint quadratic in the polynomial
+order, which drives its energy (602 nJ) and area (0.289 mm^2, Destiny
+subarray-only estimate).  Table I projects it to 45 nm at 14-bit
+coefficients, 249 MHz.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import AcceleratorModel
+from repro.errors import ParameterError
+
+RMNTT = AcceleratorModel(
+    name="RM-NTT",
+    technology="ReRAM",
+    coeff_bits=14,
+    max_freq_hz=249e6,
+    latency_s=0.45e-6,
+    batch=1.0,
+    energy_j=602e-9,
+    area_mm2=0.289,
+    node_nm=45.0,
+    provenance="Table I (projected to 45nm; area via Destiny, subarrays only)",
+)
+
+
+def rmntt_cell_count(order: int, coeff_bits: int) -> int:
+    """ReRAM cells for RM-NTT's transform matrix (Fig 7).
+
+    The vector-matrix formulation stores the full n x n twiddle matrix
+    with ``coeff_bits`` cells per entry: for 128-point, 32-bit that is
+    128 rows x 4096 columns = 524,288 cells — the paper's Fig 7 number
+    and the source of its 122x footprint disadvantage against BP-NTT.
+    """
+    if order <= 0 or coeff_bits <= 0:
+        raise ParameterError("order and coeff_bits must be positive")
+    return order * order * coeff_bits

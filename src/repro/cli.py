@@ -1,0 +1,152 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro.cli table1            # Table I
+    python -m repro.cli fig1              # roofline data
+    python -m repro.cli fig6              # worked modmul example
+    python -m repro.cli fig7              # footprint comparison
+    python -m repro.cli fig8a             # bitwidth sweep
+    python -m repro.cli fig8b             # order sweep
+    python -m repro.cli verify            # differential campaigns
+    python -m repro.cli breakdown         # butterfly cycle breakdown
+
+All output goes to stdout; the heavy targets (table1) run the
+cycle-level simulator and take a couple of seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(_: argparse.Namespace) -> None:
+    from repro.analysis.tables import build_table1, format_table1
+
+    print(format_table1(build_table1()))
+
+
+def _cmd_fig1(_: argparse.Namespace) -> None:
+    from repro.analysis.roofline import format_roofline, lattice_kernel_profiles
+    from repro.ntt.params import get_params
+
+    for name in ("dilithium", "kyber-v1"):
+        params = get_params(name)
+        print(f"[{params.name}]")
+        print(format_roofline(lattice_kernel_profiles(params)))
+        print()
+
+
+def _cmd_fig6(_: argparse.Namespace) -> None:
+    from repro.mont.bitparallel import bp_modmul_traced, format_trace
+
+    print(format_trace(bp_modmul_traced(4, 3, 7, 3)))
+
+
+def _cmd_fig7(_: argparse.Namespace) -> None:
+    from repro.analysis.footprint import fig7_comparison, format_fig7
+
+    print(format_fig7(fig7_comparison()))
+
+
+def _cmd_fig8a(_: argparse.Namespace) -> None:
+    from repro.analysis.sweeps import format_sweep, sweep_bitwidths
+
+    print(format_sweep(sweep_bitwidths(), "bitwidth"))
+
+
+def _cmd_fig8b(_: argparse.Namespace) -> None:
+    from repro.analysis.sweeps import format_sweep, sweep_orders
+
+    print(format_sweep(sweep_orders(), "order"))
+
+
+def _cmd_verify(args: argparse.Namespace) -> None:
+    from repro.core.verify import verify_engine_roundtrips, verify_modmul_widths
+
+    modmul = verify_modmul_widths(trials_per_width=args.trials)
+    print(modmul)
+    engine = verify_engine_roundtrips()
+    print(engine)
+    if not (modmul.passed and engine.passed):
+        for mismatch in modmul.mismatches + engine.mismatches:
+            print(f"  {mismatch.description} (seed {mismatch.seed})")
+        sys.exit(1)
+
+
+def _cmd_scaling(_: argparse.Namespace) -> None:
+    from repro.analysis.scaling import format_scaling, scale_design_point
+    from repro.analysis.tables import measure_bp_ntt
+
+    model, report, engine = measure_bp_ntt()
+    points = scale_design_point(
+        cycles=report.cycles,
+        energy_j=model.energy_j,
+        area_mm2=model.area_mm2,
+        batch=int(model.batch),
+    )
+    print("BP-NTT operating point projected across technology nodes:")
+    print(format_scaling(points))
+
+
+def _cmd_breakdown(_: argparse.Namespace) -> None:
+    from repro.analysis.breakdown import (
+        format_breakdown,
+        phase_breakdown,
+        sense_amp_ablation,
+    )
+    from repro.core.layout import DataLayout
+    from repro.core.scheduler import compile_ntt
+    from repro.ntt.params import get_params
+
+    params = get_params("table1-14bit")
+    layout = DataLayout(256, 256, 16, params.n)
+    program = compile_ntt(layout, params)
+    print("256-point 16-bit NTT, per-phase instruction breakdown:")
+    print(format_breakdown(phase_breakdown(program)))
+    ablation = sense_amp_ablation(program)
+    saved = 1 - ablation["modified_sa_cycles"] / ablation["conventional_sa_cycles"]
+    print()
+    print(f"modified SA (Fig 5b latch): {ablation['modified_sa_cycles']:,} cycles")
+    print(f"conventional SA            : {ablation['conventional_sa_cycles']:,} cycles")
+    print(f"latch fusion saves         : {saved:.1%}")
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "fig1": _cmd_fig1,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "fig8a": _cmd_fig8a,
+    "fig8b": _cmd_fig8b,
+    "verify": _cmd_verify,
+    "breakdown": _cmd_breakdown,
+    "scaling": _cmd_scaling,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate BP-NTT paper artifacts from the reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in _COMMANDS:
+        cmd = sub.add_parser(name, help=f"generate {name}")
+        if name == "verify":
+            cmd.add_argument("--trials", type=int, default=30,
+                             help="trials per bitwidth (default 30)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    main()

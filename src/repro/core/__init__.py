@@ -1,0 +1,24 @@
+"""BP-NTT: the paper's primary contribution.
+
+This package compiles the Cooley–Tukey NTT (and its Gentleman–Sande
+inverse) into Fig 4d instruction streams executed on the in-SRAM
+substrate, using the bit-parallel Montgomery modular multiplication of
+Algorithm 2 and the tile-based "implicit shift" data organization of
+Fig 5(a).
+
+Public entry point: :class:`repro.core.engine.BPNTTEngine`.
+"""
+
+from repro.core.engine import BPNTTEngine, NTTRunReport
+from repro.core.layout import DataLayout, ScratchRows
+from repro.core.tiles import CapacityReport, capacity_report, container_width
+
+__all__ = [
+    "BPNTTEngine",
+    "NTTRunReport",
+    "DataLayout",
+    "ScratchRows",
+    "CapacityReport",
+    "capacity_report",
+    "container_width",
+]

@@ -1,0 +1,250 @@
+"""BPNTTEngine — the public face of the accelerator.
+
+Wraps a subarray + layout + compiled programs behind a polynomial-level
+API: load a batch, run ``ntt()`` / ``intt()`` / ``polymul_pointwise()``,
+read results, and collect a :class:`NTTRunReport` with the cycle,
+latency, energy and derived Table-I metrics.
+
+Example:
+
+    >>> from repro.ntt.params import get_params
+    >>> from repro.core.engine import BPNTTEngine
+    >>> params = get_params("table1-14bit")
+    >>> engine = BPNTTEngine(params, width=16)
+    >>> polys = [[i % params.q for i in range(params.n)]] * engine.batch
+    >>> engine.load(polys)
+    >>> report = engine.ntt()
+    >>> engine.results() == [__import__("repro.ntt.transform", fromlist=["ntt"]).ntt(p, params) for p in polys]
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.layout import DataLayout
+from repro.core.scheduler import compile_intt, compile_ntt, compile_pointwise_mul
+from repro.core.tiles import container_width
+from repro.errors import ParameterError, VerificationError
+from repro.ntt.params import NTTParams
+from repro.ntt.twiddles import TwiddleTable
+from repro.sram.energy import TECH_45NM, TechnologyModel
+from repro.sram.executor import ExecutionStats, Executor
+from repro.sram.program import Program
+from repro.sram.subarray import SRAMSubarray
+
+
+@dataclass(frozen=True)
+class NTTRunReport:
+    """Performance report for one kernel execution (whole batch)."""
+
+    kernel: str
+    batch: int
+    cycles: int
+    instructions: int
+    shift_count: int
+    energy_nj: float
+    latency_s: float
+    section_cycles: dict
+
+    @property
+    def throughput_kntt_per_s(self) -> float:
+        """Batch transforms per second, in KNTT/s (Table I units)."""
+        return self.batch / self.latency_s / 1e3
+
+    @property
+    def energy_per_ntt_nj(self) -> float:
+        """Energy divided across the batch."""
+        return self.energy_nj / self.batch
+
+    @property
+    def power_w(self) -> float:
+        """Average power: batch energy over batch latency."""
+        return self.energy_nj * 1e-9 / self.latency_s
+
+    def throughput_per_area(self, area_mm2: float) -> float:
+        """KNTT/s per mm^2 — Table I's TA column."""
+        return self.throughput_kntt_per_s / area_mm2
+
+    @property
+    def throughput_per_power(self) -> float:
+        """KNTT per mJ — Table I's TP column (= batch / batch energy)."""
+        return self.batch / (self.energy_nj * 1e-6) / 1e3
+
+
+class BPNTTEngine:
+    """One subarray configured as a batched NTT accelerator."""
+
+    def __init__(
+        self,
+        params: NTTParams,
+        *,
+        width: Optional[int] = None,
+        rows: int = 256,
+        cols: int = 256,
+        tech: TechnologyModel = TECH_45NM,
+    ):
+        if not params.negacyclic:
+            raise ParameterError("the in-SRAM engine implements negacyclic rings")
+        self.params = params
+        self.width = width or container_width(params.q)
+        if self.width > cols:
+            raise ParameterError(
+                f"container width {self.width} exceeds subarray columns {cols}"
+            )
+        self.tech = tech
+        self.physical_cols = cols
+        self.layout = DataLayout(rows, cols, self.width, params.n)
+        # The subarray is built over the *used* columns; leftover columns
+        # exist physically (and are charged in the area model) but hold
+        # no tiles.
+        self.subarray = SRAMSubarray(rows, self.layout.used_cols, self.width)
+        self.executor = Executor(self.subarray, tech)
+        self._table = TwiddleTable(params)
+        self._programs = {}
+        self._loaded = False
+        self.subarray.broadcast_word(self.layout.scratch.mod, params.q)
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def batch(self) -> int:
+        """Polynomials processed per kernel invocation."""
+        return self.layout.batch
+
+    @property
+    def area_mm2(self) -> float:
+        """Silicon area of the (physical) subarray."""
+        return self.tech.subarray_area_mm2(self.layout.rows, self.physical_cols)
+
+    # -- data movement ----------------------------------------------------
+
+    def load(self, polynomials: Sequence[Sequence[int]]) -> None:
+        """Host-write a batch of polynomials into the subarray.
+
+        Fewer than ``batch`` polynomials leaves the remaining slots
+        zero-filled ("place coefficients from other polynomials in unused
+        rows" is the paper's suggestion for the converse case).
+        """
+        if len(polynomials) > self.batch:
+            raise ParameterError(
+                f"{len(polynomials)} polynomials exceed the batch capacity {self.batch}"
+            )
+        q = self.params.q
+        n = self.params.n
+        for slot in range(self.batch):
+            coeffs = polynomials[slot] if slot < len(polynomials) else [0] * n
+            if len(coeffs) != n:
+                raise ParameterError(
+                    f"polynomial {slot} has {len(coeffs)} coefficients, expected {n}"
+                )
+            for index, coeff in enumerate(coeffs):
+                loc = self.layout.locate(index)
+                tile = self.layout.tile_of(slot, index)
+                self.subarray.write_word(loc.row, tile, coeff % q)
+        self._loaded = True
+
+    def results(self) -> List[List[int]]:
+        """Read every slot's polynomial back out of the subarray."""
+        out = []
+        for slot in range(self.batch):
+            coeffs = []
+            for index in range(self.params.n):
+                loc = self.layout.locate(index)
+                tile = self.layout.tile_of(slot, index)
+                coeffs.append(self.subarray.read_word(loc.row, tile))
+            out.append(coeffs)
+        return out
+
+    # -- kernels -----------------------------------------------------------
+
+    def _get_program(self, kernel: str) -> Program:
+        if kernel not in self._programs:
+            if kernel == "ntt":
+                self._programs[kernel] = compile_ntt(self.layout, self.params, self._table)
+            elif kernel == "intt":
+                self._programs[kernel] = compile_intt(self.layout, self.params, self._table)
+            else:
+                raise ParameterError(f"unknown kernel {kernel!r}")
+        return self._programs[kernel]
+
+    def _run(self, program: Program, kernel: str) -> NTTRunReport:
+        if not self._loaded:
+            raise ParameterError("no data loaded; call load() first")
+        self.subarray.reset_peripherals()
+        stats = self.executor.run(program)
+        return self._report(kernel, stats)
+
+    def _report(self, kernel: str, stats: ExecutionStats) -> NTTRunReport:
+        return NTTRunReport(
+            kernel=kernel,
+            batch=self.batch,
+            cycles=stats.cycles,
+            instructions=stats.instructions,
+            shift_count=stats.shift_count,
+            energy_nj=stats.energy_nj,
+            latency_s=stats.latency_s(self.tech),
+            section_cycles=dict(stats.section_cycles),
+        )
+
+    def ntt(self) -> NTTRunReport:
+        """Run the forward NTT over the loaded batch (in place)."""
+        return self._run(self._get_program("ntt"), "ntt")
+
+    def intt(self) -> NTTRunReport:
+        """Run the inverse NTT over the loaded batch (in place)."""
+        return self._run(self._get_program("intt"), "intt")
+
+    def pointwise_multiply(self, other_hat: Sequence[int]) -> NTTRunReport:
+        """Multiply the (NTT-domain) batch pointwise by a fixed polynomial."""
+        program = compile_pointwise_mul(self.layout, self.params, list(other_hat))
+        return self._run(program, "pointwise")
+
+    def polymul_with(self, other: Sequence[int]) -> NTTRunReport:
+        """Full negacyclic product of every slot with a fixed polynomial.
+
+        Runs forward NTT, pointwise multiply by ``NTT(other)`` and the
+        inverse NTT; returns a merged report.
+        """
+        from repro.ntt.transform import ntt_negacyclic
+
+        other_hat = ntt_negacyclic(list(other), self.params, self._table)
+        r1 = self.ntt()
+        r2 = self.pointwise_multiply(other_hat)
+        r3 = self.intt()
+        merged = ExecutionStats()
+        merged.cycles = r1.cycles + r2.cycles + r3.cycles
+        merged.energy_pj = (r1.energy_nj + r2.energy_nj + r3.energy_nj) * 1000.0
+        merged.instructions = r1.instructions + r2.instructions + r3.instructions
+        merged.shift_count = r1.shift_count + r2.shift_count + r3.shift_count
+        for r in (r1, r2, r3):
+            for k, v in r.section_cycles.items():
+                merged.section_cycles[k] = merged.section_cycles.get(k, 0) + v
+        return self._report("polymul", merged)
+
+    # -- verification -------------------------------------------------------
+
+    def verify_against_gold(self, inputs: Sequence[Sequence[int]]) -> None:
+        """Assert the subarray contents equal ``NTT(inputs)`` (gold model).
+
+        Intended for tests and examples: call after :meth:`ntt` with the
+        polynomials originally loaded.
+        """
+        from repro.ntt.transform import ntt_negacyclic
+
+        measured = self.results()
+        for slot, coeffs in enumerate(inputs):
+            expected = ntt_negacyclic(list(coeffs), self.params, self._table)
+            if measured[slot] != expected:
+                raise VerificationError(
+                    f"slot {slot} disagrees with the gold model "
+                    f"(first mismatch at index "
+                    f"{next(i for i, (a, b) in enumerate(zip(measured[slot], expected)) if a != b)})"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"BPNTTEngine({self.params!r}, width={self.width}, "
+            f"batch={self.batch}, spill={self.layout.uses_spill})"
+        )

@@ -1,0 +1,139 @@
+"""Multi-subarray ganging (§V-E: "larger subarray or interconnection of
+multiple subarrays").
+
+A :class:`BankedEngine` distributes independent polynomial batches over
+every data subarray of a cache bank (or several banks of an LLC slice).
+Because each subarray runs the *same* compiled program on its own data,
+the bank completes ``num_subarrays x batch`` transforms in one kernel
+latency — throughput scales with area while latency stays flat, which is
+how BP-NTT covers workloads beyond one subarray's capacity.
+
+All subarrays share one CTRL/CMD subarray (Fig 4b), so the program is
+stored once; this model charges its storage to the bank's area (the
+fourth subarray) but not per-transform energy, matching the paper's
+accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.engine import BPNTTEngine, NTTRunReport
+from repro.errors import CapacityError, ParameterError
+from repro.ntt.params import NTTParams
+from repro.sram.cache import BankGeometry
+from repro.sram.energy import TECH_45NM, TechnologyModel
+
+
+@dataclass(frozen=True)
+class BankRunReport:
+    """Aggregate report for one banked kernel invocation."""
+
+    kernel: str
+    subarrays: int
+    total_batch: int
+    cycles: int
+    energy_nj: float
+    latency_s: float
+
+    @property
+    def throughput_kntt_per_s(self) -> float:
+        """Transforms per second across the whole bank."""
+        return self.total_batch / self.latency_s / 1e3
+
+    @property
+    def throughput_per_power(self) -> float:
+        """KNTT/mJ across the bank."""
+        return self.total_batch / (self.energy_nj * 1e-6) / 1e3
+
+
+class BankedEngine:
+    """Several BPNTTEngines advancing in lockstep under one CTRL stream."""
+
+    def __init__(
+        self,
+        params: NTTParams,
+        *,
+        width: int = None,
+        geometry: BankGeometry = BankGeometry(),
+        tech: TechnologyModel = TECH_45NM,
+    ):
+        self.geometry = geometry
+        self.engines: List[BPNTTEngine] = [
+            BPNTTEngine(params, width=width, rows=geometry.rows,
+                        cols=geometry.cols, tech=tech)
+            for _ in range(geometry.subarrays_per_bank - 1)
+        ]
+        if not self.engines:  # pragma: no cover - geometry validates >= 2
+            raise ParameterError("bank provides no data subarrays")
+        self.params = params
+        self.tech = tech
+
+    @property
+    def per_subarray_batch(self) -> int:
+        """Polynomials per subarray."""
+        return self.engines[0].batch
+
+    @property
+    def total_batch(self) -> int:
+        """Polynomials per banked kernel invocation."""
+        return self.per_subarray_batch * len(self.engines)
+
+    @property
+    def area_mm2(self) -> float:
+        """Bank area including the shared CTRL/CMD subarray."""
+        per = self.tech.subarray_area_mm2(self.geometry.rows, self.geometry.cols)
+        return per * self.geometry.subarrays_per_bank
+
+    def load(self, polynomials: Sequence[Sequence[int]]) -> None:
+        """Distribute a workload across subarrays, round-robin by chunk."""
+        if len(polynomials) > self.total_batch:
+            raise CapacityError(
+                f"{len(polynomials)} polynomials exceed bank capacity "
+                f"{self.total_batch}"
+            )
+        chunk = self.per_subarray_batch
+        for index, engine in enumerate(self.engines):
+            engine.load(list(polynomials[index * chunk:(index + 1) * chunk]))
+
+    def results(self) -> List[List[int]]:
+        """Concatenated per-subarray results in load order."""
+        out: List[List[int]] = []
+        for engine in self.engines:
+            out.extend(engine.results())
+        return out
+
+    def _merge(self, kernel: str, reports: List[NTTRunReport]) -> BankRunReport:
+        # Subarrays run concurrently: latency is the max (identical
+        # programs make them equal); energy sums.
+        return BankRunReport(
+            kernel=kernel,
+            subarrays=len(reports),
+            total_batch=sum(r.batch for r in reports),
+            cycles=max(r.cycles for r in reports),
+            energy_nj=sum(r.energy_nj for r in reports),
+            latency_s=max(r.latency_s for r in reports),
+        )
+
+    def ntt(self) -> BankRunReport:
+        """Forward NTT on every subarray."""
+        return self._merge("ntt", [engine.ntt() for engine in self.engines])
+
+    def intt(self) -> BankRunReport:
+        """Inverse NTT on every subarray."""
+        return self._merge("intt", [engine.intt() for engine in self.engines])
+
+    def __repr__(self) -> str:
+        return (
+            f"BankedEngine({self.params!r}, {len(self.engines)} subarrays x "
+            f"batch {self.per_subarray_batch})"
+        )
+
+
+def subarrays_needed(total_transforms: int, per_subarray_batch: int) -> int:
+    """Data subarrays required to run a workload in one kernel latency."""
+    if total_transforms <= 0 or per_subarray_batch <= 0:
+        raise ParameterError("counts must be positive")
+    return math.ceil(total_transforms / per_subarray_batch)

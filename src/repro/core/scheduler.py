@@ -1,0 +1,136 @@
+"""Compile complete NTT / INTT instruction streams (Algorithm 1).
+
+The scheduler walks the same loop structure as the gold model in
+:mod:`repro.ntt.transform` — identical stage/block/butterfly order and
+identical twiddle indexing — but emits SRAM microcode instead of doing
+arithmetic.  Twiddles are Montgomery-pre-scaled (``zeta * R mod q``) so
+the carry-save product of Algorithm 2 lands directly in the normal
+domain (§IV-D).
+
+Compiled programs are position-independent of the *data* (they only
+encode row addresses and twiddle bits), so one program stored in the
+CTRL/CMD subarray serves every batch — the paper's flexibility story.
+"""
+
+from __future__ import annotations
+
+from repro.core.butterfly import (
+    emit_coefficient_scale,
+    emit_ct_butterfly,
+    emit_gs_butterfly,
+)
+from repro.core.layout import DataLayout
+from repro.errors import ParameterError
+from repro.mont.bitparallel import safe_modulus_bound
+from repro.ntt.params import NTTParams
+from repro.ntt.twiddles import TwiddleTable
+from repro.sram.program import Program
+
+
+def _check_compatible(layout: DataLayout, params: NTTParams) -> None:
+    if layout.order != params.n:
+        raise ParameterError(
+            f"layout is sized for order {layout.order}, parameters use {params.n}"
+        )
+    if params.q > safe_modulus_bound(layout.width):
+        raise ParameterError(
+            f"modulus {params.q} exceeds the safe bound for a "
+            f"{layout.width}-bit container (Observation 1); widen the container"
+        )
+
+
+def compile_ntt_from_twiddles(layout: DataLayout, twiddles,
+                              name: str = "ntt") -> Program:
+    """Forward NTT schedule from an explicit (scaled) twiddle table.
+
+    ``twiddles`` is indexed like Algorithm 1's zeta array (entry 0
+    unused).  This entry point also serves the Fig 8 sweeps, which
+    explore container widths that admit no real NTT-friendly modulus:
+    the *schedule* (and hence the cycle/energy cost) only depends on the
+    twiddle bit patterns, not on their number theory.
+    """
+    program = Program(name=name)
+    n = layout.order
+    k = 0
+    length = n // 2
+    while length > 0:
+        start = 0
+        while start < n:
+            k += 1
+            zeta = twiddles[k]
+            for j in range(start, start + length):
+                emit_ct_butterfly(program, layout, j, j + length, zeta)
+            start += 2 * length
+        length //= 2
+    return program
+
+
+def compile_ntt(layout: DataLayout, params: NTTParams,
+                table: TwiddleTable = None) -> Program:
+    """Forward negacyclic NTT program: standard order in, bit-reversed out."""
+    _check_compatible(layout, params)
+    table = table or TwiddleTable(params)
+    twiddles = table.forward_scaled(layout.width)
+    return compile_ntt_from_twiddles(
+        layout, twiddles, name=f"ntt-n{params.n}-q{params.q}-w{layout.width}"
+    )
+
+
+def compile_intt(layout: DataLayout, params: NTTParams,
+                 table: TwiddleTable = None) -> Program:
+    """Inverse negacyclic NTT program: bit-reversed in, standard order out.
+
+    Ends with the ``n^-1`` scaling pass (one constant multiplication per
+    coefficient), as the gold model does.
+    """
+    _check_compatible(layout, params)
+    table = table or TwiddleTable(params)
+    twiddles = table.inverse_scaled(layout.width)
+    program = Program(name=f"intt-n{params.n}-q{params.q}-w{layout.width}")
+    n = params.n
+    q = params.q
+    k = n
+    length = 1
+    while length < n:
+        start = 0
+        while start < n:
+            k -= 1
+            zeta = twiddles[k]
+            for j in range(start, start + length):
+                emit_gs_butterfly(program, layout, j, j + length, zeta)
+            start += 2 * length
+        length *= 2
+    n_inv_scaled = (params.n_inv * pow(2, layout.width, q)) % q
+    for index in range(n):
+        emit_coefficient_scale(program, layout, index, n_inv_scaled)
+    return program
+
+
+def compile_pointwise_mul(layout: DataLayout, params: NTTParams,
+                          other_hat) -> Program:
+    """Pointwise product against a *known* NTT-domain polynomial.
+
+    This is the server-side pattern of R-LWE encryption: one operand
+    (e.g. the public key) is fixed, so its NTT-domain coefficients can be
+    compiled into twiddle-style constants while the SRAM-resident batch
+    supplies the other operand.  Coefficient ``i`` of every slot is
+    multiplied by ``other_hat[i]``.
+    """
+    _check_compatible(layout, params)
+    if len(other_hat) != params.n:
+        raise ParameterError(
+            f"expected {params.n} NTT-domain coefficients, got {len(other_hat)}"
+        )
+    r = pow(2, layout.width, params.q)
+    program = Program(name=f"pointwise-n{params.n}-q{params.q}")
+    for index, value in enumerate(other_hat):
+        scaled = (value % params.q) * r % params.q
+        emit_coefficient_scale(program, layout, index, scaled)
+    return program
+
+
+def butterfly_count(n: int) -> int:
+    """Number of butterflies in one n-point NTT: (n/2) log2 n."""
+    if n < 2 or n & (n - 1):
+        raise ParameterError(f"order must be a power of two >= 2, got {n}")
+    return (n // 2) * (n.bit_length() - 1)

@@ -1,0 +1,47 @@
+"""Lattice-crypto kernels built on the library (the "generality" claim).
+
+The paper motivates BP-NTT with the PQC and HE workloads whose inner
+loop is negacyclic polynomial multiplication.  This package provides
+executable versions of those workloads:
+
+- :mod:`repro.crypto.rlwe`      — textbook R-LWE public-key encryption
+  (the §II-A construction), usable with either the gold-model ring or
+  the in-SRAM engine.
+- :mod:`repro.crypto.kyber`     — the real CRYSTALS-Kyber ring
+  (q = 3329): the *incomplete* 7-layer NTT with pairwise base
+  multiplication, since 2n does not divide q - 1.
+- :mod:`repro.crypto.dilithium` — CRYSTALS-Dilithium's full 8-layer NTT
+  over q = 8380417.
+"""
+
+from repro.crypto.dilithium import (
+    DILITHIUM_Q,
+    dilithium_intt,
+    dilithium_ntt,
+    dilithium_polymul,
+)
+from repro.crypto.kyber import (
+    KYBER_N,
+    KYBER_Q,
+    kyber_basemul,
+    kyber_intt,
+    kyber_ntt,
+    kyber_polymul,
+)
+from repro.crypto.rlwe import RLWECiphertext, RLWEKeyPair, RLWEScheme
+
+__all__ = [
+    "DILITHIUM_Q",
+    "dilithium_intt",
+    "dilithium_ntt",
+    "dilithium_polymul",
+    "KYBER_N",
+    "KYBER_Q",
+    "kyber_basemul",
+    "kyber_intt",
+    "kyber_ntt",
+    "kyber_polymul",
+    "RLWECiphertext",
+    "RLWEKeyPair",
+    "RLWEScheme",
+]

@@ -1,0 +1,57 @@
+"""CRYSTALS-Dilithium's NTT: the full 8-layer transform over q = 8380417.
+
+Dilithium's prime satisfies ``512 | q - 1`` (q - 1 = 2^13 * 3 * 11 * 31),
+so the complete negacyclic NTT exists; 1753 is the spec's primitive
+512-th root of unity.  These helpers wrap the library's generic
+transform with the standard-compliant parameters, giving the examples a
+second PQC workload with a very different coefficient width (23-bit
+values, 24-bit containers) — the case where this reproduction shows the
+paper's n-column optimization must yield to the n+1-column layout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams
+from repro.ntt.transform import intt_negacyclic, ntt_negacyclic, polymul_negacyclic
+from repro.ntt.twiddles import TwiddleTable
+
+DILITHIUM_Q = 8380417
+DILITHIUM_N = 256
+DILITHIUM_ROOT = 1753  # spec's primitive 512th root of unity
+
+PARAMS = NTTParams(n=DILITHIUM_N, q=DILITHIUM_Q, name="CRYSTALS-Dilithium")
+_TABLE = TwiddleTable(PARAMS)
+
+
+def _check(poly: Sequence[int]) -> List[int]:
+    if len(poly) != DILITHIUM_N:
+        raise ParameterError(
+            f"Dilithium polynomials have 256 coefficients, got {len(poly)}"
+        )
+    return list(poly)
+
+
+def dilithium_ntt(poly: Sequence[int]) -> List[int]:
+    """Forward NTT (bit-reversed output, like the reference code)."""
+    return ntt_negacyclic(_check(poly), PARAMS, _TABLE)
+
+
+def dilithium_intt(poly: Sequence[int]) -> List[int]:
+    """Inverse NTT back to standard coefficient order."""
+    return intt_negacyclic(_check(poly), PARAMS, _TABLE)
+
+
+def dilithium_polymul(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Negacyclic product in the Dilithium ring."""
+    return polymul_negacyclic(_check(a), _check(b), PARAMS)
+
+
+def spec_root_is_valid() -> bool:
+    """Sanity: 1753 has exact multiplicative order 512 mod q."""
+    return (
+        pow(DILITHIUM_ROOT, 512, DILITHIUM_Q) == 1
+        and pow(DILITHIUM_ROOT, 256, DILITHIUM_Q) == DILITHIUM_Q - 1
+    )

@@ -1,0 +1,152 @@
+"""Toy leveled homomorphic encryption (BFV-lite) over the NTT ring.
+
+The paper motivates BP-NTT with homomorphic encryption: the HE security
+levels in §I (1024-point polynomials, 16/21/29-bit moduli) are exactly
+the ``he-16bit/21bit/29bit`` parameter sets of this library.  This
+module implements the operations whose cost is dominated by NTT-based
+polynomial products:
+
+- encryption / decryption with scale factor ``Delta = floor(q / t)``
+  (plaintexts in Z_t[x]/(x^n + 1)),
+- **homomorphic addition** (ciphertext + ciphertext),
+- **plaintext multiplication** (ciphertext * plaintext polynomial),
+
+i.e. a leveled additive scheme with plaintext products — the workhorse
+of private aggregation pipelines.  Ciphertext-ciphertext multiplication
+needs relinearization keys and is out of scope (the arithmetic it would
+add is more of the same negacyclic products).
+
+Noise budget: every operation adds noise; decryption succeeds while the
+accumulated noise stays below ``Delta / 2``.  :meth:`HEContext.noise_of`
+exposes the actual noise so tests can verify the budget arithmetic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams
+from repro.ntt.polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class HEKeyPair:
+    """Public key (a, b = a*s + e) and secret key s."""
+
+    a: Polynomial
+    b: Polynomial
+    s: Polynomial
+
+
+@dataclass(frozen=True)
+class HECiphertext:
+    """An LPR ciphertext (u, v) encrypting Delta * m + noise."""
+
+    u: Polynomial
+    v: Polynomial
+
+    def __add__(self, other: "HECiphertext") -> "HECiphertext":
+        """Homomorphic addition: coefficient-wise on both components."""
+        return HECiphertext(u=self.u + other.u, v=self.v + other.v)
+
+
+class HEContext:
+    """BFV-lite over Z_q[x]/(x^n + 1) with plaintext modulus ``t``."""
+
+    def __init__(self, params: NTTParams, plaintext_modulus: int = 16,
+                 noise_bound: int = 1, rng: Optional[random.Random] = None):
+        if not params.negacyclic:
+            raise ParameterError("HE uses the negacyclic ring x^n + 1")
+        if plaintext_modulus < 2:
+            raise ParameterError(
+                f"plaintext modulus must be >= 2, got {plaintext_modulus}"
+            )
+        if params.q // plaintext_modulus < 4:
+            raise ParameterError(
+                f"q={params.q} leaves no noise room for t={plaintext_modulus}"
+            )
+        self.params = params
+        self.t = plaintext_modulus
+        self.delta = params.q // plaintext_modulus
+        self.noise_bound = noise_bound
+        self.rng = rng or random.Random()
+
+    # -- key management ----------------------------------------------------
+
+    def _small(self) -> Polynomial:
+        return Polynomial.random_small(self.params, self.noise_bound, self.rng)
+
+    def keygen(self) -> HEKeyPair:
+        """Sample an LPR key pair."""
+        a = Polynomial.random(self.params, self.rng)
+        s = self._small()
+        e = self._small()
+        return HEKeyPair(a=a, b=a * s + e, s=s)
+
+    # -- encryption ----------------------------------------------------------
+
+    def _encode(self, message: Sequence[int]) -> Polynomial:
+        if len(message) != self.params.n:
+            raise ParameterError(
+                f"message needs {self.params.n} coefficients, got {len(message)}"
+            )
+        return Polynomial([(m % self.t) * self.delta for m in message], self.params)
+
+    def encrypt(self, key: HEKeyPair, message: Sequence[int]) -> HECiphertext:
+        """Encrypt a Z_t message vector."""
+        r = self._small()
+        e1 = self._small()
+        e2 = self._small()
+        return HECiphertext(
+            u=key.a * r + e1,
+            v=key.b * r + e2 + self._encode(message),
+        )
+
+    def decrypt(self, key: HEKeyPair, ciphertext: HECiphertext) -> List[int]:
+        """Round (v - u*s) / Delta to recover the Z_t message."""
+        noisy = ciphertext.v - ciphertext.u * key.s
+        out = []
+        for c in noisy.coeffs:
+            out.append(round(c / self.delta) % self.t)
+        return out
+
+    def noise_of(self, key: HEKeyPair, ciphertext: HECiphertext,
+                 message: Sequence[int]) -> int:
+        """Max |noise| of a ciphertext known to encrypt ``message``."""
+        noisy = ciphertext.v - ciphertext.u * key.s - self._encode(message)
+        return max(abs(c) for c in noisy.centered())
+
+    @property
+    def noise_budget(self) -> int:
+        """Decryption succeeds while noise stays below this."""
+        return self.delta // 2
+
+    # -- homomorphic operations -----------------------------------------------
+
+    def add(self, a: HECiphertext, b: HECiphertext) -> HECiphertext:
+        """Homomorphic addition (messages add in Z_t)."""
+        return a + b
+
+    def multiply_plain(self, ciphertext: HECiphertext,
+                       plaintext: Sequence[int]) -> HECiphertext:
+        """Multiply an encrypted message by a public Z_t polynomial.
+
+        Both ciphertext components are multiplied by the (unscaled)
+        plaintext polynomial — two negacyclic products, the exact
+        workload BP-NTT accelerates server-side.
+        """
+        if len(plaintext) != self.params.n:
+            raise ParameterError(
+                f"plaintext needs {self.params.n} coefficients, got {len(plaintext)}"
+            )
+        p = Polynomial([m % self.t for m in plaintext], self.params)
+        return HECiphertext(u=ciphertext.u * p, v=ciphertext.v * p)
+
+    def __repr__(self) -> str:
+        return (
+            f"HEContext({self.params!r}, t={self.t}, delta={self.delta}, "
+            f"noise_bound={self.noise_bound})"
+        )

@@ -1,0 +1,106 @@
+"""The real CRYSTALS-Kyber ring: q = 3329, incomplete 7-layer NTT.
+
+Kyber's modulus satisfies ``256 | q - 1`` but not ``512 | q - 1``, so a
+full negacyclic 256-point NTT does not exist.  The scheme instead stops
+one layer early: the transform maps Z_q[x]/(x^256 + 1) onto 128 rings
+Z_q[x]/(x^2 - zeta_i), and products finish with a pairwise "base
+multiplication" in those quadratic rings.
+
+This is the exact transform of the Kyber specification (zeta = 17 is
+the canonical primitive 256-th root).  It matters for the reproduction
+because it shows how BP-NTT's flexible modular multiplier supports the
+round-3 parameters: every operation below is a modular multiply / add /
+subtract — precisely the repertoire the in-SRAM engine provides.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+from repro.utils.bitops import bit_reverse
+
+KYBER_Q = 3329
+KYBER_N = 256
+KYBER_ROOT = 17  # primitive 256th root of unity mod q
+
+
+def _zetas() -> List[int]:
+    """The spec's zeta table: 17^brv7(k) mod q for k = 0..127."""
+    return [pow(KYBER_ROOT, bit_reverse(k, 7), KYBER_Q) for k in range(128)]
+
+
+ZETAS = _zetas()
+
+
+def _check(poly: Sequence[int]) -> List[int]:
+    if len(poly) != KYBER_N:
+        raise ParameterError(f"Kyber polynomials have 256 coefficients, got {len(poly)}")
+    return [c % KYBER_Q for c in poly]
+
+
+def kyber_ntt(poly: Sequence[int]) -> List[int]:
+    """Forward incomplete NTT (7 layers, 128 butterflies each)."""
+    f = _check(poly)
+    k = 1
+    length = 128
+    while length >= 2:
+        start = 0
+        while start < KYBER_N:
+            zeta = ZETAS[k]
+            k += 1
+            for j in range(start, start + length):
+                t = (zeta * f[j + length]) % KYBER_Q
+                f[j + length] = (f[j] - t) % KYBER_Q
+                f[j] = (f[j] + t) % KYBER_Q
+            start += 2 * length
+        length //= 2
+    return f
+
+
+def kyber_intt(poly: Sequence[int]) -> List[int]:
+    """Inverse incomplete NTT, including the 128^-1 scaling."""
+    f = _check(poly)
+    k = 127
+    length = 2
+    while length <= 128:
+        start = 0
+        while start < KYBER_N:
+            zeta = ZETAS[k]
+            k -= 1
+            for j in range(start, start + length):
+                t = f[j]
+                f[j] = (t + f[j + length]) % KYBER_Q
+                f[j + length] = (zeta * (f[j + length] - t)) % KYBER_Q
+            start += 2 * length
+        length *= 2
+    scale = pow(128, -1, KYBER_Q)
+    return [(x * scale) % KYBER_Q for x in f]
+
+
+def _basemul_pair(a0: int, a1: int, b0: int, b1: int, zeta: int) -> tuple:
+    """Product in Z_q[x]/(x^2 - zeta): (a0 + a1 x)(b0 + b1 x)."""
+    r0 = (a1 * b1 % KYBER_Q * zeta + a0 * b0) % KYBER_Q
+    r1 = (a0 * b1 + a1 * b0) % KYBER_Q
+    return r0, r1
+
+
+def kyber_basemul(a_hat: Sequence[int], b_hat: Sequence[int]) -> List[int]:
+    """Pointwise product in the 128 quadratic residue rings."""
+    a = _check(a_hat)
+    b = _check(b_hat)
+    out = [0] * KYBER_N
+    for i in range(64):
+        zeta = ZETAS[64 + i]
+        out[4 * i], out[4 * i + 1] = _basemul_pair(
+            a[4 * i], a[4 * i + 1], b[4 * i], b[4 * i + 1], zeta
+        )
+        out[4 * i + 2], out[4 * i + 3] = _basemul_pair(
+            a[4 * i + 2], a[4 * i + 3], b[4 * i + 2], b[4 * i + 3], KYBER_Q - zeta
+        )
+    return out
+
+
+def kyber_polymul(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Full negacyclic product via NTT -> basemul -> INTT."""
+    return kyber_intt(kyber_basemul(kyber_ntt(a), kyber_ntt(b)))

@@ -1,0 +1,112 @@
+"""Textbook R-LWE public-key encryption (§II-A of the paper).
+
+The scheme (Lyubashevsky–Peikert–Regev style):
+
+- keygen: sample uniform ``a``, small ``s`` and ``e``;
+  public key ``(a, b = a*s + e)``, secret key ``s``.
+- encrypt(m in {0,1}^n): sample small ``r, e1, e2``;
+  ``u = a*r + e1``, ``v = b*r + e2 + round(q/2) * m``.
+- decrypt: ``m_i = 1`` iff ``v - u*s`` is closer to ``q/2`` than to 0.
+
+Every multiplication is a negacyclic polynomial product — the operation
+BP-NTT accelerates.  The scheme is written against the
+:class:`~repro.ntt.polynomial.Polynomial` algebra so the same code runs
+on the gold model, and the example scripts show the ``a*r`` / ``b*r``
+products offloaded to the in-SRAM engine.
+
+This is the *functional* construction (bounded-uniform noise instead of
+a discrete Gaussian, no CCA armor) — enough to exercise the arithmetic
+path end to end, which is what the reproduction needs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams
+from repro.ntt.polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class RLWEKeyPair:
+    """Public key (a, b) and secret key s."""
+
+    a: Polynomial
+    b: Polynomial
+    s: Polynomial
+
+
+@dataclass(frozen=True)
+class RLWECiphertext:
+    """Ciphertext pair (u, v)."""
+
+    u: Polynomial
+    v: Polynomial
+
+
+class RLWEScheme:
+    """R-LWE encryption over a negacyclic ring.
+
+    Args:
+        params: ring parameters; the modulus should be much larger than
+            the noise bound for correct decryption.
+        noise_bound: coefficients of s, e, r, e1, e2 are drawn uniformly
+            from [-noise_bound, noise_bound].
+        rng: deterministic randomness source.
+    """
+
+    def __init__(self, params: NTTParams, noise_bound: int = 1,
+                 rng: Optional[random.Random] = None):
+        if not params.negacyclic:
+            raise ParameterError("R-LWE uses the negacyclic ring x^n + 1")
+        # Correctness needs |total noise| < q/4: total ~ e*r + e2 - e1*s
+        # with n products of noise pairs, so bound n * B^2 + 2B by q/4.
+        worst = params.n * noise_bound * noise_bound * 2 + 2 * noise_bound
+        if worst >= params.q // 4:
+            raise ParameterError(
+                f"noise bound {noise_bound} too large for q={params.q}, n={params.n} "
+                f"(worst-case noise {worst} >= q/4)"
+            )
+        self.params = params
+        self.noise_bound = noise_bound
+        self.rng = rng or random.Random()
+
+    def _small(self) -> Polynomial:
+        return Polynomial.random_small(self.params, self.noise_bound, self.rng)
+
+    def keygen(self) -> RLWEKeyPair:
+        """Sample a key pair: b = a*s + e."""
+        a = Polynomial.random(self.params, self.rng)
+        s = self._small()
+        e = self._small()
+        return RLWEKeyPair(a=a, b=a * s + e, s=s)
+
+    def encrypt(self, key: RLWEKeyPair, message_bits: Sequence[int]) -> RLWECiphertext:
+        """Encrypt one bit per coefficient."""
+        n, q = self.params.n, self.params.q
+        if len(message_bits) != n:
+            raise ParameterError(f"message must have {n} bits, got {len(message_bits)}")
+        if any(bit not in (0, 1) for bit in message_bits):
+            raise ParameterError("message entries must be bits")
+        r = self._small()
+        e1 = self._small()
+        e2 = self._small()
+        half_q = q // 2
+        encoded = Polynomial([bit * half_q for bit in message_bits], self.params)
+        return RLWECiphertext(
+            u=key.a * r + e1,
+            v=key.b * r + e2 + encoded,
+        )
+
+    def decrypt(self, key: RLWEKeyPair, ciphertext: RLWECiphertext) -> List[int]:
+        """Recover the message bits by rounding v - u*s."""
+        noisy = ciphertext.v - ciphertext.u * key.s
+        q = self.params.q
+        quarter, three_quarters = q // 4, 3 * q // 4
+        return [1 if quarter <= c < three_quarters else 0 for c in noisy]
+
+    def __repr__(self) -> str:
+        return f"RLWEScheme({self.params!r}, noise_bound={self.noise_bound})"

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the BP-NTT reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime
+simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An NTT / modulus / layout parameter is invalid or unsupported."""
+
+
+class CapacityError(ParameterError):
+    """A workload does not fit the requested SRAM subarray geometry."""
+
+
+class LayoutError(ReproError):
+    """A data-layout operation referenced rows/tiles inconsistently."""
+
+
+class IsaError(ReproError):
+    """An ISA instruction is malformed or illegal for the subarray."""
+
+
+class ExecutionError(ReproError):
+    """The SRAM executor hit an illegal state while running a program."""
+
+
+class VerificationError(ReproError):
+    """An in-SRAM result disagrees with the gold (software) model."""

@@ -1,0 +1,37 @@
+"""Montgomery arithmetic: word-level reference and the paper's Algorithm 2.
+
+- :mod:`repro.mont.word` — the textbook word-level Montgomery REDC used
+  to define what the bit-parallel algorithm must compute.
+- :mod:`repro.mont.csa` — carry-save 3:2 compressor primitives on
+  fixed-width bit vectors (the Sum/Carry machinery of §IV-D).
+- :mod:`repro.mont.bitparallel` — the functional model of Algorithm 2,
+  step-traceable so Fig. 6 of the paper can be reproduced exactly.
+"""
+
+from repro.mont.bitparallel import (
+    BitParallelResult,
+    IterationTrace,
+    bp_modmul,
+    bp_modmul_traced,
+    bp_modmul_vanilla,
+    format_trace,
+    montgomery_expected,
+    safe_modulus_bound,
+)
+from repro.mont.csa import carry_save_add, half_add, resolve_carry
+from repro.mont.word import MontgomeryContext
+
+__all__ = [
+    "BitParallelResult",
+    "IterationTrace",
+    "bp_modmul",
+    "bp_modmul_traced",
+    "bp_modmul_vanilla",
+    "format_trace",
+    "montgomery_expected",
+    "safe_modulus_bound",
+    "carry_save_add",
+    "half_add",
+    "resolve_carry",
+    "MontgomeryContext",
+]

@@ -1,0 +1,65 @@
+"""Carry-save adder primitives on fixed-width integers.
+
+The paper eliminates carry propagation (§IV-D, "inspired by carry-save
+adder design") by representing the Montgomery accumulator as a pair
+``(Sum, Carry)`` with value ``P = Sum + 2*Carry``.  Adding a third
+operand is then a 3:2 compression built from bitwise AND/XOR — exactly
+the operations a multi-row SRAM activation provides.
+
+These helpers operate on plain Python ints restricted to ``width`` bits
+so invariants (like "the compressed carries are disjoint", which lets
+the paper use a cheap OR instead of an add) can be asserted eagerly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ParameterError
+from repro.utils.bitops import mask
+
+
+def half_add(a: int, b: int, width: int) -> Tuple[int, int]:
+    """One half-adder layer: ``a + b == sum_bits + 2 * carry_bits``.
+
+    Returns ``(carry, sum)`` — note carry first, matching the paper's
+    ``c1, s1 = {A & B, A xor B}`` notation.  Raises if the shifted carry
+    would overflow ``width`` bits (callers rely on the paper's
+    Observation 1 to guarantee it never does).
+    """
+    m = mask(width)
+    if a > m or b > m or a < 0 or b < 0:
+        raise ParameterError(f"operands must be {width}-bit non-negative values")
+    return a & b, a ^ b
+
+
+def carry_save_add(sum_bits: int, carry_bits: int, addend: int, width: int) -> Tuple[int, int]:
+    """Add ``addend`` into a carry-save accumulator (lines 6-9 of Algorithm 2).
+
+    The accumulator value is ``P = sum_bits + 2 * carry_bits``; the
+    result pair satisfies ``P' = P + addend``.  Internally this is the
+    paper's sequence: half-add Sum with the addend, shift Carry left to
+    align it, half-add again, then OR the two carry vectors (provably
+    disjoint — asserted here).
+    """
+    m = mask(width)
+    if carry_bits >> (width - 1):
+        raise ParameterError(
+            "Carry MSB set before left shift; the paper's Observation 1 "
+            "(top Carry bit always 0) does not hold for these operands"
+        )
+    c1, s1 = half_add(sum_bits & m, addend & m, width)
+    shifted_carry = (carry_bits << 1) & m
+    c2, new_sum = shifted_carry & s1, shifted_carry ^ s1
+    if c1 & c2:
+        raise ParameterError("carry vectors overlap; 3:2 compression invariant broken")
+    return c1 | c2, new_sum
+
+
+def resolve_carry(sum_bits: int, carry_bits: int) -> int:
+    """Collapse a carry-save pair into its integer value ``Sum + 2*Carry``.
+
+    This is the final carry propagation the in-SRAM design defers to the
+    very end of a multiplication (done there with ripple addition).
+    """
+    return sum_bits + (carry_bits << 1)

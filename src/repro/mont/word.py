@@ -1,0 +1,67 @@
+"""Word-level Montgomery multiplication (the reference REDC).
+
+The paper's Algorithm 2 is a bit-serial-scan, carry-save formulation of
+Montgomery multiplication; this module is the classical word-level
+version.  It defines the mathematical contract — ``A * B * R^-1 mod M``
+— that :mod:`repro.mont.bitparallel` and the in-SRAM compiler must meet,
+and provides the domain-conversion helpers used to pre-scale twiddle
+factors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.ntt.modmath import mod_inv
+
+
+class MontgomeryContext:
+    """Montgomery domain for an odd modulus ``M`` with ``R = 2**r_bits``.
+
+    >>> ctx = MontgomeryContext(3329, 16)
+    >>> ctx.mul(ctx.to_mont(17), ctx.to_mont(100)) == ctx.to_mont(1700)
+    True
+    """
+
+    def __init__(self, modulus: int, r_bits: int):
+        if modulus < 3 or modulus % 2 == 0:
+            raise ParameterError(f"Montgomery modulus must be odd and >= 3, got {modulus}")
+        if modulus >= (1 << r_bits):
+            raise ParameterError(
+                f"modulus {modulus} must be smaller than R = 2^{r_bits}"
+            )
+        self.modulus = modulus
+        self.r_bits = r_bits
+        self.r = 1 << r_bits
+        self.r_mask = self.r - 1
+        self.r_inv = mod_inv(self.r, modulus)
+        # m' = -M^-1 mod R, the REDC folding constant.
+        self.m_prime = (-mod_inv(modulus, self.r)) % self.r
+
+    def to_mont(self, x: int) -> int:
+        """Convert ``x`` into the Montgomery domain: ``x * R mod M``."""
+        return (x * self.r) % self.modulus
+
+    def from_mont(self, x: int) -> int:
+        """Convert out of the Montgomery domain: ``x * R^-1 mod M``."""
+        return (x * self.r_inv) % self.modulus
+
+    def redc(self, t: int) -> int:
+        """Montgomery reduction of ``0 <= t < M * R`` to ``t * R^-1 mod M``.
+
+        Returns a canonical residue (the textbook conditional final
+        subtraction is applied).
+        """
+        if not 0 <= t < self.modulus * self.r:
+            raise ParameterError(f"REDC input out of range: {t}")
+        m = ((t & self.r_mask) * self.m_prime) & self.r_mask
+        u = (t + m * self.modulus) >> self.r_bits
+        return u - self.modulus if u >= self.modulus else u
+
+    def mul(self, a: int, b: int) -> int:
+        """Montgomery product ``a * b * R^-1 mod M`` of canonical residues."""
+        if not (0 <= a < self.modulus and 0 <= b < self.modulus):
+            raise ParameterError("Montgomery mul expects canonical residues")
+        return self.redc(a * b)
+
+    def __repr__(self) -> str:
+        return f"MontgomeryContext(M={self.modulus}, R=2^{self.r_bits})"

@@ -1,0 +1,55 @@
+"""Reference (gold-model) NTT substrate.
+
+This package implements the mathematics the accelerator must agree
+with: modular arithmetic over Z_q, the iterative Cooley–Tukey forward
+NTT / Gentleman–Sande inverse NTT, the negacyclic polynomial ring
+Z_q[x]/(x^n + 1), and the standard lattice-cryptography parameter sets
+the paper evaluates (Kyber, Dilithium, Falcon, HE security levels).
+
+Everything in :mod:`repro.core` (the in-SRAM engine) is verified against
+this package in the test suite.
+"""
+
+from repro.ntt.modmath import (
+    BarrettReducer,
+    mod_add,
+    mod_inv,
+    mod_mul,
+    mod_pow,
+    mod_sub,
+)
+from repro.ntt.params import (
+    NTTParams,
+    STANDARD_PARAMS,
+    get_params,
+    list_param_names,
+)
+from repro.ntt.polynomial import Polynomial
+from repro.ntt.transform import (
+    intt,
+    intt_negacyclic,
+    ntt,
+    ntt_negacyclic,
+    polymul_negacyclic,
+)
+from repro.ntt.twiddles import TwiddleTable
+
+__all__ = [
+    "BarrettReducer",
+    "mod_add",
+    "mod_inv",
+    "mod_mul",
+    "mod_pow",
+    "mod_sub",
+    "NTTParams",
+    "STANDARD_PARAMS",
+    "get_params",
+    "list_param_names",
+    "Polynomial",
+    "TwiddleTable",
+    "intt",
+    "intt_negacyclic",
+    "ntt",
+    "ntt_negacyclic",
+    "polymul_negacyclic",
+]

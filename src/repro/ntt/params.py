@@ -1,0 +1,138 @@
+"""NTT parameter sets.
+
+:class:`NTTParams` bundles everything a transform needs — polynomial
+order ``n``, prime modulus ``q``, the 2n-th root of unity ``psi`` (for
+negacyclic rings) and its square ``omega`` — and validates existence of
+the roots at construction time.
+
+``STANDARD_PARAMS`` covers the workloads the paper's evaluation section
+names: CRYSTALS-Kyber, CRYSTALS-Dilithium, Falcon, and the three
+homomorphic-encryption security levels of the BKZ.qsieve model
+(1024-point polynomials with 16/21/29-bit coefficient moduli), plus the
+Table I configuration (256-point, 14/16-bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ParameterError
+from repro.ntt.modmath import mod_inv
+from repro.utils.bitops import is_power_of_two
+from repro.utils.primes import find_ntt_prime, is_prime, primitive_nth_root
+
+
+@dataclass(frozen=True)
+class NTTParams:
+    """Validated parameters for a (nega)cyclic NTT over Z_q.
+
+    Attributes:
+        n: polynomial order (power of two).
+        q: prime modulus with ``2n | q - 1`` (negacyclic) or ``n | q - 1``.
+        negacyclic: whether the ring is Z_q[x]/(x^n + 1) (True, the
+            lattice-crypto default) or Z_q[x]/(x^n - 1).
+        name: optional human-readable label.
+    """
+
+    n: int
+    q: int
+    negacyclic: bool = True
+    name: str = ""
+    psi: int = field(init=False)
+    omega: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n) or self.n < 2:
+            raise ParameterError(f"polynomial order must be a power of two >= 2, got {self.n}")
+        if not is_prime(self.q):
+            raise ParameterError(f"modulus must be prime, got {self.q}")
+        if self.negacyclic:
+            if (self.q - 1) % (2 * self.n) != 0:
+                raise ParameterError(
+                    f"negacyclic NTT needs 2n | q-1; n={self.n}, q={self.q}"
+                )
+            psi = primitive_nth_root(2 * self.n, self.q)
+            omega = (psi * psi) % self.q
+        else:
+            if (self.q - 1) % self.n != 0:
+                raise ParameterError(f"cyclic NTT needs n | q-1; n={self.n}, q={self.q}")
+            psi = 0  # no 2n-th root required
+            omega = primitive_nth_root(self.n, self.q)
+        object.__setattr__(self, "psi", psi)
+        object.__setattr__(self, "omega", omega)
+
+    @property
+    def coeff_bits(self) -> int:
+        """Bits needed to store one canonical coefficient."""
+        return (self.q - 1).bit_length()
+
+    @property
+    def stages(self) -> int:
+        """Number of butterfly stages, ``log2 n``."""
+        return self.n.bit_length() - 1
+
+    @property
+    def n_inv(self) -> int:
+        """``n^-1 mod q``, used by the inverse transform."""
+        return mod_inv(self.n, self.q)
+
+    @property
+    def psi_inv(self) -> int:
+        """``psi^-1 mod q`` (negacyclic only)."""
+        if not self.negacyclic:
+            raise ParameterError("psi_inv is only defined for negacyclic parameters")
+        return mod_inv(self.psi, self.q)
+
+    @property
+    def omega_inv(self) -> int:
+        """``omega^-1 mod q``."""
+        return mod_inv(self.omega, self.q)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        kind = "negacyclic" if self.negacyclic else "cyclic"
+        return f"NTTParams({kind}{label}, n={self.n}, q={self.q})"
+
+
+def _make_standard() -> Dict[str, NTTParams]:
+    params = {
+        # NIST PQC standards the paper cites.  Round-3 Kyber (q=3329) uses an
+        # *incomplete* 7-layer NTT because 2n does not divide q-1; that exact
+        # transform lives in repro.crypto.kyber.  The full negacyclic 256-point
+        # NTT here uses the round-1 Kyber prime 7681 (13-bit value, the 14-bit
+        # container configuration of Table I).  Dilithium (q=8380417, 23-bit)
+        # does support the full negacyclic transform.
+        "kyber-v1": NTTParams(n=256, q=7681, name="Kyber round-1"),
+        "dilithium": NTTParams(n=256, q=8380417, name="CRYSTALS-Dilithium"),
+        "falcon512": NTTParams(n=512, q=12289, name="Falcon-512"),
+        "falcon1024": NTTParams(n=1024, q=12289, name="Falcon-1024"),
+        # Table I configuration: 256-point with 14-/16-bit containers.
+        # 18433 is the largest NTT-friendly prime that fits a 16-bit
+        # container under the Observation-1 safety bound M < 2^15
+        # (65537 would need 17 data columns).
+        "table1-14bit": NTTParams(n=256, q=12289, name="Table I 14-bit"),
+        "table1-16bit": NTTParams(n=256, q=18433, name="Table I 16-bit"),
+        # HE security levels (BKZ.qsieve): 1024-point, 16/21/29-bit moduli.
+        "he-16bit": NTTParams(n=1024, q=find_ntt_prime(16, 1024), name="HE level 1 (16-bit)"),
+        "he-21bit": NTTParams(n=1024, q=find_ntt_prime(21, 1024), name="HE level 2 (21-bit)"),
+        "he-29bit": NTTParams(n=1024, q=find_ntt_prime(29, 1024), name="HE level 3 (29-bit)"),
+    }
+    return params
+
+
+STANDARD_PARAMS: Dict[str, NTTParams] = _make_standard()
+
+
+def get_params(name: str) -> NTTParams:
+    """Look up a standard parameter set by name (see :func:`list_param_names`)."""
+    try:
+        return STANDARD_PARAMS[name]
+    except KeyError:
+        known = ", ".join(sorted(STANDARD_PARAMS))
+        raise ParameterError(f"unknown parameter set {name!r}; known: {known}") from None
+
+
+def list_param_names() -> List[str]:
+    """Names of the built-in standard parameter sets."""
+    return sorted(STANDARD_PARAMS)

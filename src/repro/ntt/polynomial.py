@@ -1,0 +1,174 @@
+"""Polynomial ring element over Z_q[x]/(x^n ± 1).
+
+:class:`Polynomial` is a small immutable value type wrapping a
+coefficient vector together with its :class:`~repro.ntt.params.NTTParams`.
+It gives the examples and crypto kernels a readable algebra
+(``a * b + e``) while routing multiplication through the NTT.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams
+from repro.ntt.transform import (
+    intt,
+    ntt,
+    polymul_negacyclic,
+    schoolbook_cyclic,
+    schoolbook_negacyclic,
+)
+
+
+class Polynomial:
+    """An element of Z_q[x]/(x^n + 1) (or x^n - 1 for cyclic params).
+
+    Coefficients are stored reduced to canonical range [0, q).
+    Instances are immutable; arithmetic returns new objects.
+    """
+
+    __slots__ = ("params", "_coeffs")
+
+    def __init__(self, coeffs: Sequence[int], params: NTTParams):
+        if len(coeffs) != params.n:
+            raise ParameterError(
+                f"polynomial needs exactly {params.n} coefficients, got {len(coeffs)}"
+            )
+        self.params = params
+        self._coeffs = tuple(c % params.q for c in coeffs)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def zero(cls, params: NTTParams) -> "Polynomial":
+        """The zero polynomial."""
+        return cls([0] * params.n, params)
+
+    @classmethod
+    def one(cls, params: NTTParams) -> "Polynomial":
+        """The constant polynomial 1."""
+        return cls([1] + [0] * (params.n - 1), params)
+
+    @classmethod
+    def monomial(cls, degree: int, params: NTTParams, coeff: int = 1) -> "Polynomial":
+        """``coeff * x^degree``."""
+        if not 0 <= degree < params.n:
+            raise ParameterError(f"degree must be in [0, {params.n}), got {degree}")
+        coeffs = [0] * params.n
+        coeffs[degree] = coeff
+        return cls(coeffs, params)
+
+    @classmethod
+    def random(cls, params: NTTParams, rng: random.Random = None) -> "Polynomial":
+        """Uniformly random element (deterministic given ``rng``)."""
+        rng = rng or random.Random()
+        return cls([rng.randrange(params.q) for _ in range(params.n)], params)
+
+    @classmethod
+    def random_small(
+        cls, params: NTTParams, bound: int, rng: random.Random = None
+    ) -> "Polynomial":
+        """Random element with coefficients in [-bound, bound].
+
+        This is the "small" (error / secret) distribution of R-LWE; a
+        bounded uniform distribution stands in for the paper's Gaussian
+        (only smallness matters for functional correctness).
+        """
+        if bound < 0:
+            raise ParameterError(f"bound must be non-negative, got {bound}")
+        rng = rng or random.Random()
+        return cls([rng.randint(-bound, bound) for _ in range(params.n)], params)
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def coeffs(self) -> List[int]:
+        """Canonical coefficients, constant term first (a copy)."""
+        return list(self._coeffs)
+
+    def centered(self) -> List[int]:
+        """Coefficients mapped to the centered range (-q/2, q/2]."""
+        q = self.params.q
+        return [c - q if c > q // 2 else c for c in self._coeffs]
+
+    def __len__(self) -> int:
+        return self.params.n
+
+    def __getitem__(self, index: int) -> int:
+        return self._coeffs[index]
+
+    def __iter__(self) -> Iterable[int]:
+        return iter(self._coeffs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.params.q == other.params.q and self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return hash((self.params.q, self._coeffs))
+
+    # -- arithmetic -------------------------------------------------------
+
+    def _check_compatible(self, other: "Polynomial") -> None:
+        if self.params.q != other.params.q or self.params.n != other.params.n:
+            raise ParameterError("polynomials come from different rings")
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        self._check_compatible(other)
+        q = self.params.q
+        return Polynomial(
+            [(a + b) % q for a, b in zip(self._coeffs, other._coeffs)], self.params
+        )
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        self._check_compatible(other)
+        q = self.params.q
+        return Polynomial(
+            [(a - b) % q for a, b in zip(self._coeffs, other._coeffs)], self.params
+        )
+
+    def __neg__(self) -> "Polynomial":
+        q = self.params.q
+        return Polynomial([(-a) % q for a in self._coeffs], self.params)
+
+    def __mul__(self, other):
+        if isinstance(other, int):
+            return self.scale(other)
+        self._check_compatible(other)
+        if self.params.negacyclic:
+            product = polymul_negacyclic(self._coeffs, other._coeffs, self.params)
+        else:
+            hat_a = ntt(self._coeffs, self.params)
+            hat_b = ntt(other._coeffs, self.params)
+            q = self.params.q
+            product = intt([(x * y) % q for x, y in zip(hat_a, hat_b)], self.params)
+        return Polynomial(product, self.params)
+
+    def __rmul__(self, other: int) -> "Polynomial":
+        return self.scale(other)
+
+    def scale(self, scalar: int) -> "Polynomial":
+        """Multiply every coefficient by an integer scalar."""
+        q = self.params.q
+        return Polynomial([(scalar * a) % q for a in self._coeffs], self.params)
+
+    def mul_schoolbook(self, other: "Polynomial") -> "Polynomial":
+        """O(n^2) reference product (used by tests to validate ``__mul__``)."""
+        self._check_compatible(other)
+        if self.params.negacyclic:
+            product = schoolbook_negacyclic(self._coeffs, other._coeffs, self.params.q)
+        else:
+            product = schoolbook_cyclic(self._coeffs, other._coeffs, self.params.q)
+        return Polynomial(product, self.params)
+
+    def to_ntt(self) -> List[int]:
+        """Forward transform of the coefficient vector."""
+        return ntt(self._coeffs, self.params)
+
+    def __repr__(self) -> str:
+        head = ", ".join(str(c) for c in self._coeffs[:4])
+        ellipsis = ", ..." if self.params.n > 4 else ""
+        return f"Polynomial([{head}{ellipsis}], n={self.params.n}, q={self.params.q})"

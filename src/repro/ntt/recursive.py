@@ -1,0 +1,89 @@
+"""Independent NTT implementations used only for cross-checking.
+
+The iterative loops in :mod:`repro.ntt.transform` are the production
+path; a subtle indexing bug there could survive a round-trip test (a
+matching bug in forward and inverse cancels).  These implementations are
+derived from the *definition* of the transform, so agreement with them
+pins down the actual mathematics:
+
+- :func:`naive_dft` evaluates the polynomial at root powers directly,
+- :func:`recursive_ntt` is the textbook radix-2 divide and conquer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams
+
+
+def naive_dft(a: Sequence[int], params: NTTParams) -> List[int]:
+    """Evaluate the transform from its definition (O(n^2)).
+
+    Negacyclic: ``A[k] = sum_j a[j] * psi^(j*(2k+1)) mod q`` — i.e. the
+    evaluation of a(x) at ``psi^(2k+1)`` (the odd powers of psi, which
+    are exactly the roots of x^n + 1).  Cyclic: evaluation at
+    ``omega^k``.  Output is in *standard* order.
+    """
+    n = params.n
+    q = params.q
+    if len(a) != n:
+        raise ParameterError(f"expected {n} coefficients, got {len(a)}")
+    out = []
+    if params.negacyclic:
+        for k in range(n):
+            point = pow(params.psi, 2 * k + 1, q)
+            acc = 0
+            x = 1
+            for coeff in a:
+                acc = (acc + coeff * x) % q
+                x = (x * point) % q
+            out.append(acc)
+    else:
+        for k in range(n):
+            point = pow(params.omega, k, q)
+            acc = 0
+            x = 1
+            for coeff in a:
+                acc = (acc + coeff * x) % q
+                x = (x * point) % q
+            out.append(acc)
+    return out
+
+
+def recursive_ntt(a: Sequence[int], root: int, q: int) -> List[int]:
+    """Radix-2 recursive cyclic NTT with the given n-th root of unity.
+
+    Standard-order input and output.  ``len(a)`` must be a power of two
+    and ``root`` must have exact order ``len(a)`` in Z_q.
+    """
+    n = len(a)
+    if n == 1:
+        return [a[0] % q]
+    if n % 2:
+        raise ParameterError(f"recursive NTT needs power-of-two length, got {n}")
+    even = recursive_ntt(a[0::2], (root * root) % q, q)
+    odd = recursive_ntt(a[1::2], (root * root) % q, q)
+    out = [0] * n
+    w = 1
+    for k in range(n // 2):
+        t = (w * odd[k]) % q
+        out[k] = (even[k] + t) % q
+        out[k + n // 2] = (even[k] - t) % q
+        w = (w * root) % q
+    return out
+
+
+def recursive_ntt_negacyclic(a: Sequence[int], params: NTTParams) -> List[int]:
+    """Negacyclic NTT via pre-twist + recursive cyclic NTT.
+
+    Multiplying ``a[j]`` by ``psi^j`` turns the negacyclic transform into
+    a cyclic one with ``omega = psi^2`` — the classic "twisting" trick.
+    Output is in standard order, matching :func:`naive_dft`.
+    """
+    if not params.negacyclic:
+        raise ParameterError("requires negacyclic parameters")
+    q = params.q
+    twisted = [(coeff * pow(params.psi, j, q)) % q for j, coeff in enumerate(a)]
+    return recursive_ntt(twisted, params.omega, q)

@@ -1,0 +1,198 @@
+"""Iterative NTT / inverse NTT (the paper's Algorithm 1 and its inverse).
+
+Two ring flavours are provided:
+
+- **negacyclic** (``Z_q[x]/(x^n + 1)``) — the lattice-cryptography
+  workhorse.  The forward transform is the in-place Cooley–Tukey
+  decimation-in-time loop of the paper's Algorithm 1, consuming psi
+  powers in bit-reversed order and producing output in bit-reversed
+  order; the inverse is the matching Gentleman–Sande loop.  This is the
+  schedule the in-SRAM engine (:mod:`repro.core.scheduler`) compiles.
+- **cyclic** (``Z_q[x]/(x^n - 1)``) — the textbook DFT-over-Z_q, kept
+  for generality and as an independent cross-check.
+
+All functions are pure: they copy their input and return a new list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+from repro.ntt.modmath import mod_inv
+from repro.ntt.params import NTTParams
+from repro.ntt.twiddles import TwiddleTable
+from repro.utils.bitops import bit_reverse_permutation
+
+
+def _validate_input(a: Sequence[int], params: NTTParams) -> List[int]:
+    if len(a) != params.n:
+        raise ParameterError(f"expected {params.n} coefficients, got {len(a)}")
+    return [x % params.q for x in a]
+
+
+def ntt_negacyclic(a: Sequence[int], params: NTTParams, table: TwiddleTable = None) -> List[int]:
+    """Forward negacyclic NTT (Algorithm 1): standard order in, bit-reversed out."""
+    if not params.negacyclic:
+        raise ParameterError("ntt_negacyclic requires negacyclic parameters")
+    coeffs = _validate_input(a, params)
+    twiddles = (table or TwiddleTable(params)).forward
+    q = params.q
+    n = params.n
+    k = 0
+    length = n // 2
+    while length > 0:
+        start = 0
+        while start < n:
+            k += 1
+            zeta = twiddles[k]
+            for j in range(start, start + length):
+                t = (zeta * coeffs[j + length]) % q
+                coeffs[j + length] = (coeffs[j] - t) % q
+                coeffs[j] = (coeffs[j] + t) % q
+            start += 2 * length
+        length //= 2
+    return coeffs
+
+
+def intt_negacyclic(a: Sequence[int], params: NTTParams, table: TwiddleTable = None) -> List[int]:
+    """Inverse negacyclic NTT (Gentleman–Sande): bit-reversed in, standard out."""
+    if not params.negacyclic:
+        raise ParameterError("intt_negacyclic requires negacyclic parameters")
+    coeffs = _validate_input(a, params)
+    twiddles = (table or TwiddleTable(params)).inverse
+    q = params.q
+    n = params.n
+    k = n
+    length = 1
+    while length < n:
+        start = 0
+        while start < n:
+            k -= 1
+            zeta = twiddles[k]
+            for j in range(start, start + length):
+                t = coeffs[j]
+                coeffs[j] = (t + coeffs[j + length]) % q
+                coeffs[j + length] = (zeta * (t - coeffs[j + length])) % q
+            start += 2 * length
+        length *= 2
+    n_inv = params.n_inv
+    return [(x * n_inv) % q for x in coeffs]
+
+
+def ntt_cyclic(a: Sequence[int], params: NTTParams) -> List[int]:
+    """Forward cyclic NTT: standard order in and out.
+
+    Classic iterative Cooley–Tukey: bit-reverse permutation first, then
+    log2(n) butterfly stages with omega powers.
+    """
+    coeffs = _validate_input(a, params)
+    n = params.n
+    q = params.q
+    perm = bit_reverse_permutation(n)
+    coeffs = [coeffs[p] for p in perm]
+    length = 2
+    while length <= n:
+        w_len = pow(params.omega, n // length, q)
+        for start in range(0, n, length):
+            w = 1
+            half = length // 2
+            for j in range(start, start + half):
+                u = coeffs[j]
+                v = (coeffs[j + half] * w) % q
+                coeffs[j] = (u + v) % q
+                coeffs[j + half] = (u - v) % q
+                w = (w * w_len) % q
+        length *= 2
+    return coeffs
+
+
+def intt_cyclic(a: Sequence[int], params: NTTParams) -> List[int]:
+    """Inverse cyclic NTT: same loop with omega^-1, then scale by n^-1."""
+    coeffs = _validate_input(a, params)
+    n = params.n
+    q = params.q
+    perm = bit_reverse_permutation(n)
+    coeffs = [coeffs[p] for p in perm]
+    omega_inv = params.omega_inv
+    length = 2
+    while length <= n:
+        w_len = pow(omega_inv, n // length, q)
+        for start in range(0, n, length):
+            w = 1
+            half = length // 2
+            for j in range(start, start + half):
+                u = coeffs[j]
+                v = (coeffs[j + half] * w) % q
+                coeffs[j] = (u + v) % q
+                coeffs[j + half] = (u - v) % q
+                w = (w * w_len) % q
+        length *= 2
+    n_inv = params.n_inv
+    return [(x * n_inv) % q for x in coeffs]
+
+
+def ntt(a: Sequence[int], params: NTTParams) -> List[int]:
+    """Forward NTT dispatching on the ring flavour of ``params``."""
+    if params.negacyclic:
+        return ntt_negacyclic(a, params)
+    return ntt_cyclic(a, params)
+
+
+def intt(a: Sequence[int], params: NTTParams) -> List[int]:
+    """Inverse NTT dispatching on the ring flavour of ``params``."""
+    if params.negacyclic:
+        return intt_negacyclic(a, params)
+    return intt_cyclic(a, params)
+
+
+def polymul_negacyclic(
+    a: Sequence[int], b: Sequence[int], params: NTTParams
+) -> List[int]:
+    """Multiply two polynomials in Z_q[x]/(x^n + 1) via the NTT.
+
+    Implements ``ab = NTT^-1(NTT(a) * NTT(b))`` — the identity the paper
+    states in §II-B.  Both inputs are in standard coefficient order and
+    so is the result; the bit-reversed intermediate order cancels because
+    the pointwise product is order-independent.
+    """
+    if not params.negacyclic:
+        raise ParameterError("polymul_negacyclic requires negacyclic parameters")
+    table = TwiddleTable(params)
+    a_hat = ntt_negacyclic(a, params, table)
+    b_hat = ntt_negacyclic(b, params, table)
+    q = params.q
+    prod = [(x * y) % q for x, y in zip(a_hat, b_hat)]
+    return intt_negacyclic(prod, params, table)
+
+
+def schoolbook_negacyclic(a: Sequence[int], b: Sequence[int], q: int) -> List[int]:
+    """O(n^2) negacyclic convolution — the gold standard for tests.
+
+    ``x^n = -1`` folds the high half of the product back with a sign flip.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ParameterError(f"length mismatch: {n} vs {len(b)}")
+    result = [0] * n
+    for i, ai in enumerate(a):
+        for j, bj in enumerate(b):
+            k = i + j
+            term = (ai * bj) % q
+            if k < n:
+                result[k] = (result[k] + term) % q
+            else:
+                result[k - n] = (result[k - n] - term) % q
+    return result
+
+
+def schoolbook_cyclic(a: Sequence[int], b: Sequence[int], q: int) -> List[int]:
+    """O(n^2) cyclic convolution (``x^n = 1``)."""
+    n = len(a)
+    if len(b) != n:
+        raise ParameterError(f"length mismatch: {n} vs {len(b)}")
+    result = [0] * n
+    for i, ai in enumerate(a):
+        for j, bj in enumerate(b):
+            result[(i + j) % n] = (result[(i + j) % n] + ai * bj) % q
+    return result

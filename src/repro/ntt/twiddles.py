@@ -1,0 +1,83 @@
+"""Twiddle-factor tables.
+
+The in-place Cooley–Tukey NTT of Algorithm 1 consumes powers of psi in
+*bit-reversed* order; the Gentleman–Sande inverse consumes powers of
+psi^-1.  BP-NTT additionally pre-scales every twiddle by the Montgomery
+constant R = 2^w (the paper's §IV-D: twiddles are "pre-computed by
+multiplying them to R in advance"), so the carry-save Montgomery product
+``(zeta*R) * a * R^-1 = zeta * a mod q`` lands directly in the normal
+domain with no conversion step.
+
+:class:`TwiddleTable` materializes all of these once per parameter set.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ParameterError
+from repro.ntt.modmath import mod_inv
+from repro.ntt.params import NTTParams
+from repro.utils.bitops import bit_reverse
+
+
+class TwiddleTable:
+    """Precomputed twiddle factors for a parameter set.
+
+    Attributes:
+        forward: psi^brv(k) table consumed in order by the CT forward NTT
+            (Algorithm 1's ``zeta[++k]``).
+        inverse: corresponding table for the GS inverse NTT.
+    """
+
+    def __init__(self, params: NTTParams):
+        if not params.negacyclic:
+            raise ParameterError(
+                "TwiddleTable serves the negacyclic (x^n + 1) schedule used by "
+                "the in-SRAM engine; cyclic transforms use repro.ntt.transform "
+                "directly"
+            )
+        self._root = params.psi
+        self._root_inv = params.psi_inv
+        self._order = 2 * params.n
+        self.params = params
+        n = params.n
+        logn = params.stages
+        q = params.q
+        # Forward table: zeta_k = root^brv(k) for k = 1..n-1, laid out so the
+        # Algorithm-1 loop can consume them with a single incrementing index.
+        self.forward: List[int] = [0] * n
+        for k in range(n):
+            self.forward[k] = pow(self._root, bit_reverse(k, logn), q)
+        # Inverse table mirrors pq-crystals' layout: the GS loop walks the
+        # forward table backwards, and the twiddle it needs there is the
+        # *negated* forward zeta: psi^-brv(k_fwd) == -psi^brv(k_bwd) because
+        # psi^n == -1 and brv pairs the two walks up.
+        self.inverse: List[int] = [(q - t) % q for t in self.forward]
+
+    @property
+    def root(self) -> int:
+        """The (2n-th for negacyclic, n-th for cyclic) root used."""
+        return self._root
+
+    def forward_scaled(self, r_bits: int) -> List[int]:
+        """Forward table pre-scaled to the Montgomery domain (× 2^r_bits).
+
+        ``r_bits`` is the container bitwidth w of the in-SRAM engine, so
+        each entry is ``zeta * 2^w mod q`` — ready to be compiled into
+        Algorithm-2 control commands.
+        """
+        if r_bits <= 0:
+            raise ParameterError(f"r_bits must be positive, got {r_bits}")
+        r = pow(2, r_bits, self.params.q)
+        return [(t * r) % self.params.q for t in self.forward]
+
+    def inverse_scaled(self, r_bits: int) -> List[int]:
+        """Inverse table pre-scaled to the Montgomery domain."""
+        if r_bits <= 0:
+            raise ParameterError(f"r_bits must be positive, got {r_bits}")
+        r = pow(2, r_bits, self.params.q)
+        return [(t * r) % self.params.q for t in self.inverse]
+
+    def __repr__(self) -> str:
+        return f"TwiddleTable({self.params!r})"

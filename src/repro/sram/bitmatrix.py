@@ -1,0 +1,102 @@
+"""Raw bit storage for an SRAM subarray.
+
+Each row is a Python integer treated as a ``cols``-wide bit vector; bit
+``c`` of the integer is the cell at column ``c``.  Arbitrary-precision
+ints make 256-bit-row bitwise operations a single interpreter operation,
+which keeps full 256-point NTT simulations tractable while remaining
+exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import LayoutError, ParameterError
+from repro.utils.bitops import mask
+
+
+class BitMatrix:
+    """A ``rows x cols`` grid of bits with row-granular access."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows <= 0 or cols <= 0:
+            raise ParameterError(f"matrix dimensions must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self._mask = mask(cols)
+        self._data: List[int] = [0] * rows
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise LayoutError(f"row {row} out of range [0, {self.rows})")
+
+    def read_row(self, row: int) -> int:
+        """Return the row's bits as an integer (bit c == column c)."""
+        self._check_row(row)
+        return self._data[row]
+
+    def write_row(self, row: int, value: int) -> None:
+        """Overwrite a row; ``value`` must fit in ``cols`` bits."""
+        self._check_row(row)
+        if value < 0 or value > self._mask:
+            raise LayoutError(f"value does not fit in {self.cols} columns")
+        self._data[row] = value
+
+    def get_bit(self, row: int, col: int) -> int:
+        """Read a single cell."""
+        self._check_row(row)
+        if not 0 <= col < self.cols:
+            raise LayoutError(f"column {col} out of range [0, {self.cols})")
+        return (self._data[row] >> col) & 1
+
+    def set_bit(self, row: int, col: int, bit: int) -> None:
+        """Write a single cell."""
+        self._check_row(row)
+        if not 0 <= col < self.cols:
+            raise LayoutError(f"column {col} out of range [0, {self.cols})")
+        if bit not in (0, 1):
+            raise ParameterError(f"bit must be 0 or 1, got {bit}")
+        if bit:
+            self._data[row] |= 1 << col
+        else:
+            self._data[row] &= ~(1 << col) & self._mask
+
+    def multi_row_and(self, rows: Iterable[int]) -> int:
+        """Bitline AND of several simultaneously activated rows.
+
+        This is the physical primitive of Fig 3(a): with multiple
+        wordlines raised, a bitline only stays above V_ref when *every*
+        activated cell on it holds '1'.
+        """
+        result = self._mask
+        count = 0
+        for row in rows:
+            self._check_row(row)
+            result &= self._data[row]
+            count += 1
+        if count == 0:
+            raise ParameterError("multi-row activation needs at least one row")
+        return result
+
+    def multi_row_nor(self, rows: Iterable[int]) -> int:
+        """Bitline NOR: '1' exactly where every activated cell holds '0'."""
+        acc = 0
+        count = 0
+        for row in rows:
+            self._check_row(row)
+            acc |= self._data[row]
+            count += 1
+        if count == 0:
+            raise ParameterError("multi-row activation needs at least one row")
+        return (~acc) & self._mask
+
+    def clear(self) -> None:
+        """Zero every cell."""
+        self._data = [0] * self.rows
+
+    def snapshot(self) -> List[int]:
+        """Copy of all rows (for tests and debugging)."""
+        return list(self._data)
+
+    def __repr__(self) -> str:
+        return f"BitMatrix({self.rows}x{self.cols})"

@@ -1,0 +1,107 @@
+"""Cache-hierarchy integration (Fig 4a-c).
+
+BP-NTT re-purposes subarrays inside an existing cache: each LLC slice
+holds several banks, each bank typically four subarrays; one subarray
+per bank is reserved for memory-mapped CTRL/CMD storage and the rest
+become vector compute units.  Banks running the same kernel share the
+CTRL/CMD subarray.
+
+This module models that organization for capacity/area roll-ups and for
+dispatching one logical NTT batch across several physical subarrays.
+The security property the paper emphasizes — plaintext never leaves the
+chip — is structural here: all state lives inside :class:`CacheBank`
+objects; there is no modeled off-chip path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import CapacityError, ParameterError
+from repro.sram.energy import TECH_45NM, TechnologyModel
+from repro.sram.subarray import SRAMSubarray
+
+
+@dataclass(frozen=True)
+class BankGeometry:
+    """Physical shape of one SRAM bank."""
+
+    subarrays_per_bank: int = 4
+    rows: int = 256
+    cols: int = 256
+
+    def __post_init__(self) -> None:
+        if self.subarrays_per_bank < 2:
+            raise ParameterError(
+                "a bank needs at least 2 subarrays (1 CTRL/CMD + 1 data)"
+            )
+
+
+class CacheBank:
+    """One bank: a CTRL/CMD subarray plus data subarrays.
+
+    The CTRL/CMD subarray stores instruction streams (it performs no
+    bitline compute); the data subarrays are
+    :class:`~repro.sram.subarray.SRAMSubarray` compute units.
+    """
+
+    def __init__(self, geometry: BankGeometry = BankGeometry(), tile_width: int = 16):
+        self.geometry = geometry
+        self.tile_width = tile_width
+        self.data_subarrays: List[SRAMSubarray] = [
+            SRAMSubarray(geometry.rows, geometry.cols, tile_width)
+            for _ in range(geometry.subarrays_per_bank - 1)
+        ]
+
+    @property
+    def compute_units(self) -> int:
+        """Number of data (compute) subarrays."""
+        return len(self.data_subarrays)
+
+    @property
+    def parallel_lanes(self) -> int:
+        """Total vector lanes (tiles) across the bank's data subarrays."""
+        return sum(sub.num_tiles for sub in self.data_subarrays)
+
+    def area_mm2(self, tech: TechnologyModel = TECH_45NM) -> float:
+        """Total bank area including the CTRL/CMD subarray."""
+        per_subarray = tech.subarray_area_mm2(self.geometry.rows, self.geometry.cols)
+        return per_subarray * self.geometry.subarrays_per_bank
+
+
+class LLCSlice:
+    """A last-level-cache slice holding several BP-NTT banks."""
+
+    def __init__(self, num_banks: int = 4, geometry: BankGeometry = BankGeometry(),
+                 tile_width: int = 16):
+        if num_banks <= 0:
+            raise ParameterError(f"need at least one bank, got {num_banks}")
+        self.banks = [CacheBank(geometry, tile_width) for _ in range(num_banks)]
+
+    @property
+    def parallel_lanes(self) -> int:
+        """Vector lanes across the whole slice."""
+        return sum(bank.parallel_lanes for bank in self.banks)
+
+    def area_mm2(self, tech: TechnologyModel = TECH_45NM) -> float:
+        """Slice area."""
+        return sum(bank.area_mm2(tech) for bank in self.banks)
+
+    def allocate_lanes(self, count: int) -> List[SRAMSubarray]:
+        """Pick the smallest set of subarrays covering ``count`` lanes."""
+        if count <= 0:
+            raise ParameterError(f"lane count must be positive, got {count}")
+        chosen: List[SRAMSubarray] = []
+        covered = 0
+        for bank in self.banks:
+            for sub in bank.data_subarrays:
+                if covered >= count:
+                    return chosen
+                chosen.append(sub)
+                covered += sub.num_tiles
+        if covered < count:
+            raise CapacityError(
+                f"slice provides {covered} lanes, {count} requested"
+            )
+        return chosen

@@ -1,0 +1,80 @@
+"""Fault injection for the SRAM substrate.
+
+Real in-SRAM computing must tolerate marginal sensing: multi-row
+activation degrades noise margins, and a slow sense amplifier reads the
+wrong value.  This module models those upsets as bit flips so the test
+suite can demonstrate two properties of the BP-NTT stack:
+
+1. **Detection** — the engine's gold-model verification catches any
+   injected fault that corrupts a result (no silent wrong answers in
+   the validation flow of §V-A).
+2. **Locality** — a fault in one tile never corrupts *other* tiles
+   (operand gating and segmented shifts keep lanes independent).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ParameterError
+from repro.sram.subarray import SRAMSubarray
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected upset."""
+
+    row: int
+    col: int
+
+    @property
+    def tile_of(self) -> Optional[int]:
+        """Filled in by the injector when tile geometry is known."""
+        return None
+
+
+@dataclass
+class FaultInjector:
+    """Flips stored bits in a subarray, deterministically per seed."""
+
+    subarray: SRAMSubarray
+    seed: int = 0
+    injected: List[FaultRecord] = field(default_factory=list)
+
+    def flip_bit(self, row: int, col: int) -> FaultRecord:
+        """Invert a single cell."""
+        current = self.subarray.storage.get_bit(row, col)
+        self.subarray.storage.set_bit(row, col, 1 - current)
+        record = FaultRecord(row=row, col=col)
+        self.injected.append(record)
+        return record
+
+    def flip_random_bits(self, count: int, *, row_range: range = None) -> List[FaultRecord]:
+        """Flip ``count`` uniformly random cells (optionally row-bounded)."""
+        if count <= 0:
+            raise ParameterError(f"fault count must be positive, got {count}")
+        rng = random.Random(self.seed)
+        rows = row_range if row_range is not None else range(self.subarray.rows)
+        records = []
+        for _ in range(count):
+            row = rng.choice(rows)
+            col = rng.randrange(self.subarray.cols)
+            records.append(self.flip_bit(row, col))
+        return records
+
+    def flip_in_tile(self, tile: int, row: int, bit_index: int) -> FaultRecord:
+        """Flip one bit of a specific tile's word at ``row``."""
+        if not 0 <= bit_index < self.subarray.tile_width:
+            raise ParameterError(
+                f"bit index {bit_index} outside tile width {self.subarray.tile_width}"
+            )
+        col = self.subarray.tile_col_base(tile) + bit_index
+        return self.flip_bit(row, col)
+
+    def tiles_touched(self) -> set:
+        """Set of tile indices any injected fault landed in."""
+        return {
+            record.col // self.subarray.tile_width for record in self.injected
+        }

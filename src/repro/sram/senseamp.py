@@ -1,0 +1,98 @@
+"""Sense-amplifier model (Fig 5b).
+
+The paper modifies the conventional SA to support, per column:
+
+- the bitline logic results AND / NOR of the activated rows (Fig 3a),
+  from which OR and XOR are composed with an inverter and a NOR gate
+  (Fig 3b),
+- a MUX + latch implementing a 1-bit bidirectional shift,
+- (modeled here, implied by the Fig 4d ``Check`` instruction and the
+  multi-tile vector operation) a small per-tile predicate latch used to
+  gate one operand — this is how ``m = M or 0`` is selected per tile
+  even though wordlines are shared across all tiles.
+
+This module is purely combinational; the stateful latch lives in
+:class:`~repro.sram.subarray.SRAMSubarray`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.utils.bitops import mask
+
+
+class SenseAmpLogic:
+    """Combinational bitline logic over ``cols`` columns."""
+
+    def __init__(self, cols: int):
+        if cols <= 0:
+            raise ParameterError(f"column count must be positive, got {cols}")
+        self.cols = cols
+        self._mask = mask(cols)
+
+    def logic_and(self, a: int, b: int) -> int:
+        """Bitline AND (all activated cells '1')."""
+        return a & b & self._mask
+
+    def logic_nor(self, a: int, b: int) -> int:
+        """Bitline NOR (all activated cells '0')."""
+        return (~(a | b)) & self._mask
+
+    def logic_or(self, a: int, b: int) -> int:
+        """OR = inverted NOR (the extra inverter in Fig 5b)."""
+        return (a | b) & self._mask
+
+    def logic_xor(self, a: int, b: int) -> int:
+        """XOR = NOR(AND, NOR) per Fig 3(b)."""
+        return self.logic_nor(self.logic_and(a, b), self.logic_nor(a, b))
+
+    def shift_segmented(self, value: int, left: bool, segment: int) -> "ShiftResult":
+        """Shift by one bit with zero fill at segment boundaries.
+
+        ``segment`` is the tile width configured in the CTRL subarray;
+        bits never cross a tile boundary — the bit that would leave each
+        segment is captured and returned so the executor can maintain
+        per-tile carry-out flags (used for >=-comparisons).
+
+        ``segment == 0`` means an unsegmented, array-wide shift (used to
+        merge coefficients that spill into an adjacent tile).
+        """
+        if segment < 0 or (segment and self.cols % segment):
+            raise ParameterError(
+                f"segment width {segment} must divide column count {self.cols}"
+            )
+        if segment == 0:
+            if left:
+                shifted = (value << 1) & self._mask
+                out_bits = value >> (self.cols - 1)
+            else:
+                shifted = value >> 1
+                out_bits = value & 1
+            return ShiftResult(shifted, out_bits)
+        seg_mask = mask(segment)
+        shifted = 0
+        out_bits = 0
+        for tile in range(self.cols // segment):
+            chunk = (value >> (tile * segment)) & seg_mask
+            if left:
+                out = chunk >> (segment - 1)
+                chunk = (chunk << 1) & seg_mask
+            else:
+                out = chunk & 1
+                chunk >>= 1
+            shifted |= chunk << (tile * segment)
+            out_bits |= out << tile
+        return ShiftResult(shifted, out_bits)
+
+
+class ShiftResult:
+    """A shifted row plus the per-segment bits that fell off the edge."""
+
+    __slots__ = ("value", "out_bits")
+
+    def __init__(self, value: int, out_bits: int):
+        self.value = value
+        self.out_bits = out_bits
+
+    def __repr__(self) -> str:
+        return f"ShiftResult(value={self.value:#x}, out_bits={self.out_bits:#x})"

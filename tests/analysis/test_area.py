@@ -1,0 +1,54 @@
+"""Technology projection tests."""
+
+import pytest
+
+from repro.analysis.area import (
+    project_area,
+    project_energy,
+    project_frequency,
+    project_latency,
+    reram_subarray_area_mm2,
+    sram_cells_area_mm2,
+)
+from repro.errors import ParameterError
+
+
+class TestScalingRules:
+    def test_area_quadratic(self):
+        assert project_area(1.0, 45, 90) == pytest.approx(4.0)
+        assert project_area(1.0, 90, 45) == pytest.approx(0.25)
+
+    def test_frequency_inverse_linear(self):
+        assert project_frequency(1e9, 90, 45) == pytest.approx(2e9)
+
+    def test_energy_cubic(self):
+        assert project_energy(8.0, 90, 45) == pytest.approx(1.0)
+
+    def test_latency_linear(self):
+        assert project_latency(10e-6, 45, 90) == pytest.approx(20e-6)
+
+    def test_roundtrips(self):
+        assert project_area(project_area(3.3, 45, 28), 28, 45) == pytest.approx(3.3)
+
+    def test_invalid_nodes(self):
+        for fn in (project_area, project_frequency, project_energy, project_latency):
+            with pytest.raises(ParameterError):
+                fn(1.0, 0, 45)
+
+
+class TestCellAreaEstimators:
+    def test_reram_4f2(self):
+        # 1 Mcell at 45nm, 4F^2: 1e6 * 4 * (45e-6 mm)^2 = 8.1e-3 mm^2.
+        assert reram_subarray_area_mm2(10**6) == pytest.approx(8.1e-3)
+
+    def test_sram_cells(self):
+        # 65536 cells * 0.38 um^2 = 0.0249 mm^2 (array only, no periphery).
+        assert sram_cells_area_mm2(256 * 256) == pytest.approx(0.0249, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            reram_subarray_area_mm2(0)
+        with pytest.raises(ParameterError):
+            sram_cells_area_mm2(-5)
+        with pytest.raises(ParameterError):
+            reram_subarray_area_mm2(10, node_nm=-1)

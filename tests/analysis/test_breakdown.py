@@ -1,0 +1,67 @@
+"""Cycle-breakdown and sense-amp-ablation tests."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    format_breakdown,
+    phase_breakdown,
+    sense_amp_ablation,
+    technology_variant,
+)
+from repro.core.layout import DataLayout
+from repro.core.scheduler import compile_ntt
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams
+from repro.sram.program import Program
+
+
+@pytest.fixture(scope="module")
+def small_program():
+    params = NTTParams(n=16, q=97)
+    layout = DataLayout(32, 32, 8, 16)
+    return compile_ntt(layout, params)
+
+
+class TestPhaseBreakdown:
+    def test_shares_sum_to_one(self, small_program):
+        shares = phase_breakdown(small_program)
+        assert sum(s.share for s in shares) == pytest.approx(1.0)
+
+    def test_sorted_descending(self, small_program):
+        shares = phase_breakdown(small_program)
+        counts = [s.instructions for s in shares]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_modmul_is_the_hot_phase(self, small_program):
+        shares = phase_breakdown(small_program)
+        assert shares[0].phase == "modmul"
+        assert shares[0].share > 0.4
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParameterError):
+            phase_breakdown(Program("empty"))
+
+    def test_format(self, small_program):
+        text = format_breakdown(phase_breakdown(small_program))
+        assert "modmul" in text and "%" in text
+
+
+class TestSenseAmpAblation:
+    def test_conventional_sa_costs_more(self, small_program):
+        result = sense_amp_ablation(small_program)
+        assert result["conventional_sa_cycles"] > result["modified_sa_cycles"]
+
+    def test_saving_is_meaningful(self, small_program):
+        result = sense_amp_ablation(small_program)
+        saving = 1 - result["modified_sa_cycles"] / result["conventional_sa_cycles"]
+        assert 0.1 < saving < 0.5  # the latch fusion matters but is not magic
+
+    def test_variant_validation(self):
+        with pytest.raises(ParameterError):
+            technology_variant(0, 1)
+
+    def test_variant_changes_only_fused_costs(self):
+        tech = technology_variant(3, 2)
+        assert tech.instruction_cycles("pair") == 3
+        assert tech.instruction_cycles("carry_step") == 2
+        assert tech.instruction_cycles("logic") == 1

@@ -1,0 +1,66 @@
+"""Fig 7 memory-footprint numbers must match the paper exactly."""
+
+import pytest
+
+from repro.analysis.footprint import (
+    bpntt_cell_count,
+    fig7_comparison,
+    format_fig7,
+)
+from repro.baselines.mentt import mentt_cell_count
+from repro.baselines.rmntt import rmntt_cell_count
+from repro.errors import ParameterError
+
+
+class TestPaperNumbers:
+    """32-bit, 128-point polynomial (the Fig 7 configuration)."""
+
+    def test_bpntt_4288_cells(self):
+        assert bpntt_cell_count(128, 32) == 4288  # 134 rows x 32 cols
+
+    def test_mentt_16640_cells(self):
+        assert mentt_cell_count(128, 32) == 16640  # 130 rows x 128 cols
+
+    def test_rmntt_524288_cells(self):
+        assert rmntt_cell_count(128, 32) == 524288  # 128 rows x 4096 cols
+
+    def test_comparison_entries(self):
+        entries = fig7_comparison()
+        by_name = {e.design: e for e in entries}
+        assert by_name["BP-NTT"].cells == 4288
+        assert by_name["BP-NTT"].rows == 134 and by_name["BP-NTT"].cols == 32
+        assert by_name["MeNTT"].cells == 16640
+        assert by_name["RM-NTT"].cells == 524288
+
+    def test_ratios(self):
+        entries = fig7_comparison()
+        cells = {e.design: e.cells for e in entries}
+        assert cells["MeNTT"] / cells["BP-NTT"] == pytest.approx(3.88, rel=0.01)
+        assert cells["RM-NTT"] / cells["BP-NTT"] == pytest.approx(122.3, rel=0.01)
+
+    def test_format_mentions_all_designs(self):
+        text = format_fig7(fig7_comparison())
+        for name in ("BP-NTT", "MeNTT", "RM-NTT"):
+            assert name in text
+        assert "4,288" in text
+
+
+class TestGeneralization:
+    def test_other_configurations(self):
+        # 16-bit 256-point: (256+6)*16 cells.
+        assert bpntt_cell_count(256, 16) == 262 * 16
+
+    def test_bpntt_always_smallest(self):
+        for order in (64, 128, 256, 512):
+            for bits in (14, 16, 32):
+                bp = bpntt_cell_count(order, bits)
+                assert bp < mentt_cell_count(order, bits)
+                assert bp < rmntt_cell_count(order, bits)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            bpntt_cell_count(0, 32)
+        with pytest.raises(ParameterError):
+            mentt_cell_count(128, 0)
+        with pytest.raises(ParameterError):
+            rmntt_cell_count(-1, 32)

@@ -1,0 +1,111 @@
+"""Fig 1 roofline model tests."""
+
+import math
+
+import pytest
+
+from repro.analysis.roofline import (
+    DEFAULT_MACHINE,
+    KernelProfile,
+    MachineModel,
+    format_roofline,
+    lattice_kernel_profiles,
+    modmul_kernel_profile,
+    ntt_kernel_profile,
+    reduction_kernel_profile,
+)
+from repro.errors import ParameterError
+from repro.ntt.params import get_params
+
+DILITHIUM = get_params("dilithium")
+
+
+class TestMachineModel:
+    def test_roof_is_min_of_bw_and_peak(self):
+        m = MachineModel(peak_gops=10, bandwidth_gbps={"L1": 100})
+        assert m.roof_gops("L1", 0.05) == pytest.approx(5.0)
+        assert m.roof_gops("L1", 1.0) == 10  # compute-capped
+
+    def test_ridge(self):
+        m = MachineModel(peak_gops=50, bandwidth_gbps={"L2": 100})
+        assert m.ridge_intensity("L2") == pytest.approx(0.5)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ParameterError):
+            DEFAULT_MACHINE.roof_gops("L9", 1.0)
+
+
+class TestNTTProfile:
+    def test_ops_count(self):
+        p = ntt_kernel_profile(DILITHIUM)
+        assert p.ops == 7.0 * (256 // 2) * 8
+
+    def test_inverse_has_extra_scaling_ops(self):
+        fwd = ntt_kernel_profile(DILITHIUM)
+        inv = ntt_kernel_profile(DILITHIUM, inverse=True)
+        assert inv.ops == fwd.ops + 3 * 256
+        assert inv.name == "INVNTT"
+
+    def test_l1_traffic_dominates(self):
+        p = ntt_kernel_profile(DILITHIUM)
+        assert p.bytes_by_level["L1"] > p.bytes_by_level["L3"]
+
+    def test_intensity_below_l2_ridge(self):
+        # The paper's point: NTT arithmetic intensity sits left of the
+        # L2 ridge, so the L2 bandwidth roof caps it below compute peak.
+        p = ntt_kernel_profile(DILITHIUM)
+        assert p.intensity("L2") < DEFAULT_MACHINE.ridge_intensity("L2")
+
+    def test_word_size_validated(self):
+        with pytest.raises(ParameterError):
+            ntt_kernel_profile(DILITHIUM, word_bytes=0)
+
+
+class TestFig1Reproduction:
+    """The qualitative claim: kernels are L1/L2-bound, not DRAM/compute."""
+
+    @pytest.mark.parametrize("name", ["dilithium", "kyber-v1"])
+    def test_ntt_kernels_bound_by_cache_levels(self, name):
+        for profile in lattice_kernel_profiles(get_params(name)):
+            roof = profile.binding_roof(DEFAULT_MACHINE)
+            assert roof in ("L1", "L2"), f"{profile.name} bound by {roof}"
+
+    def test_not_dram_bound(self):
+        # With the working set cache-resident, DRAM sees only compulsory
+        # traffic: the DRAM roof never binds any lattice kernel.
+        for profile in lattice_kernel_profiles(DILITHIUM):
+            assert profile.binding_roof(DEFAULT_MACHINE) != "DRAM"
+            assert profile.attainable_gops(DEFAULT_MACHINE, "DRAM") >= (
+                profile.attainable_gops(DEFAULT_MACHINE, "L2")
+            )
+
+    def test_format_lists_all_kernels(self):
+        text = format_roofline(lattice_kernel_profiles(DILITHIUM))
+        for kernel in ("NTT", "INVNTT", "modmul", "reduce"):
+            assert kernel in text
+
+
+class TestOtherKernels:
+    def test_modmul_profile(self):
+        p = modmul_kernel_profile(256)
+        assert p.ops == 3 * 256
+        assert p.bytes_by_level["L1"] == 3 * 256 * 4
+
+    def test_reduction_profile(self):
+        p = reduction_kernel_profile(256)
+        assert p.ops == 4 * 256
+
+    def test_counts_validated(self):
+        with pytest.raises(ParameterError):
+            modmul_kernel_profile(0)
+        with pytest.raises(ParameterError):
+            reduction_kernel_profile(-1)
+
+    def test_zero_traffic_is_infinite_intensity(self):
+        p = KernelProfile("x", ops=10, bytes_by_level={"L1": 0})
+        assert math.isinf(p.intensity("L1"))
+
+    def test_missing_level_rejected(self):
+        p = KernelProfile("x", ops=10, bytes_by_level={"L1": 1})
+        with pytest.raises(ParameterError):
+            p.intensity("L2")

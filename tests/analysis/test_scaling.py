@@ -1,0 +1,56 @@
+"""Technology-node scaling tests."""
+
+import pytest
+
+from repro.analysis.scaling import NodePoint, format_scaling, scale_design_point
+from repro.errors import ParameterError
+
+BASE = dict(cycles=305_232, energy_j=69.4e-9, area_mm2=0.063, batch=8)
+
+
+class TestProjection:
+    def test_base_node_is_identity(self):
+        points = scale_design_point(nodes_nm=(45.0,), **BASE)
+        p = points[0]
+        assert p.frequency_hz == pytest.approx(3.8e9)
+        assert p.latency_s == pytest.approx(BASE["cycles"] / 3.8e9)
+        assert p.energy_j == pytest.approx(BASE["energy_j"])
+        assert p.area_mm2 == pytest.approx(BASE["area_mm2"])
+
+    def test_shrink_improves_all_derived_metrics(self):
+        nm45, nm22 = scale_design_point(nodes_nm=(45.0, 22.0), **BASE)
+        assert nm22.latency_s < nm45.latency_s
+        assert nm22.area_mm2 < nm45.area_mm2
+        assert nm22.energy_j < nm45.energy_j
+        assert nm22.throughput_per_area > nm45.throughput_per_area
+        assert nm22.throughput_per_power > nm45.throughput_per_power
+
+    def test_ta_scales_cubically(self):
+        # tput ~ 1/s, area ~ s^2 -> TA ~ s^-3.
+        nm45, nm90 = scale_design_point(nodes_nm=(45.0, 90.0), **BASE)
+        assert nm90.throughput_per_area == pytest.approx(
+            nm45.throughput_per_area / 8, rel=0.01
+        )
+
+    def test_tp_scales_cubically(self):
+        nm45, nm90 = scale_design_point(nodes_nm=(45.0, 90.0), **BASE)
+        assert nm90.throughput_per_power == pytest.approx(
+            nm45.throughput_per_power / 8, rel=0.01
+        )
+
+    def test_cycles_are_node_invariant(self):
+        points = scale_design_point(nodes_nm=(65.0, 28.0), **BASE)
+        for p in points:
+            assert p.latency_s * p.frequency_hz == pytest.approx(BASE["cycles"])
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            scale_design_point(cycles=0, energy_j=1e-9, area_mm2=1, batch=1)
+
+
+class TestFormatting:
+    def test_rows_per_node(self):
+        points = scale_design_point(**BASE)
+        text = format_scaling(points)
+        assert text.count("\n") == len(points)
+        assert "45nm" in text and "22nm" in text

@@ -1,0 +1,98 @@
+"""Table I generator tests (structure + paper-row fidelity).
+
+The full measured row requires a ~2 s simulation; it runs once per
+session via a module fixture and is shared by the tests here and the
+integration suite.
+"""
+
+import pytest
+
+from repro.analysis.tables import (
+    BP_NTT_PAPER,
+    build_table1,
+    format_table1,
+    headline_ratios,
+    measure_bp_ntt,
+)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    model, report, engine = measure_bp_ntt()
+    return model, report, engine
+
+
+class TestPaperRow:
+    def test_paper_row_derived_columns(self):
+        assert BP_NTT_PAPER.throughput_kntt_per_s == pytest.approx(258.5, rel=0.01)
+        assert BP_NTT_PAPER.throughput_per_area == pytest.approx(4.1e3, rel=0.02)
+        assert BP_NTT_PAPER.throughput_per_power == pytest.approx(230.5, rel=0.01)
+
+
+class TestMeasuredRow:
+    def test_latency_within_factor_1p5_of_paper(self, measured):
+        model, _, _ = measured
+        assert model.latency_s / BP_NTT_PAPER.latency_s < 1.5
+
+    def test_energy_calibrated(self, measured):
+        model, _, _ = measured
+        assert model.energy_j == pytest.approx(69.4e-9, rel=0.05)
+
+    def test_area_matches(self, measured):
+        model, _, _ = measured
+        assert model.area_mm2 == pytest.approx(0.063, rel=0.02)
+
+    def test_batch_is_8_with_spill(self, measured):
+        model, _, engine = measured
+        assert engine.layout.tiles_per_poly == 2
+        assert model.batch == 8
+
+    def test_results_verified_against_gold(self, measured):
+        # measure_bp_ntt ran a real NTT; verify the array contents.
+        _, _, engine = measured
+        # Reconstruct the input batch deterministically (same seed).
+        import random
+
+        rng = random.Random(7)
+        q, n = engine.params.q, engine.params.n
+        inputs = [[rng.randrange(q) for _ in range(n)] for _ in range(engine.batch)]
+        engine.verify_against_gold(inputs)
+
+
+class TestTableAssembly:
+    def test_rows_and_order(self, measured):
+        model, _, _ = measured
+        rows = build_table1(measured=model)
+        names = [r.name for r in rows]
+        assert names[0] == "BP-NTT (measured)"
+        assert "BP-NTT (paper)" in names
+        assert names[-1] == "CPU"
+        assert len(rows) == 10
+
+    def test_sixteen_way_row_scales_batch_and_energy(self, measured):
+        model, _, _ = measured
+        rows = {r.name: r for r in build_table1(measured=model)}
+        derived = rows["BP-NTT (16-way assumption)"]
+        assert derived.batch == 16
+        assert derived.energy_j == pytest.approx(model.energy_j * 2)
+        # TP is batch/energy — invariant under the rescale.
+        assert derived.throughput_per_power == pytest.approx(
+            model.throughput_per_power
+        )
+
+    def test_format_renders_every_design(self, measured):
+        model, _, _ = measured
+        text = format_table1(build_table1(measured=model))
+        for name in ("MeNTT", "CryptoPIM", "RM-NTT", "LEIA", "Sapphire", "FPGA", "CPU"):
+            assert name in text
+
+    def test_headline_shape(self, measured):
+        """Who-wins structure: BP-NTT has the best TP of all designs and
+        beats the ASICs/MeNTT on TA; ReRAM keeps the raw TA crown."""
+        model, _, _ = measured
+        rows = build_table1(measured=model)
+        ratios = headline_ratios(rows)
+        assert all(r["tp_ratio"] > 1 for r in ratios.values())
+        assert ratios["Sapphire"]["ta_ratio"] > 5
+        assert ratios["MeNTT"]["ta_ratio"] > 2
+        assert ratios["RM-NTT"]["ta_ratio"] < 1  # matches the paper's table

@@ -1,0 +1,37 @@
+"""Shift-count ablation model tests (the ~50% claim)."""
+
+import pytest
+
+from repro.baselines.bitserial import BitSerialShiftModel
+from repro.errors import ParameterError
+
+
+class TestModel:
+    def test_butterflies(self):
+        assert BitSerialShiftModel(256, 16).butterflies == 1024
+
+    def test_alignment_cost(self):
+        assert BitSerialShiftModel(256, 16).alignment_shifts_per_butterfly == 32
+
+    def test_total_is_sum(self):
+        m = BitSerialShiftModel(256, 16)
+        assert m.total_shifts(25000) == 25000 + 1024 * 32
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            BitSerialShiftModel(1, 16)
+        with pytest.raises(ParameterError):
+            BitSerialShiftModel(256, 0)
+        with pytest.raises(ParameterError):
+            BitSerialShiftModel(256, 16).total_shifts(-1)
+
+
+class TestFiftyPercentClaim:
+    def test_fraction_near_half_with_measured_counts(self):
+        """With the engine's measured ~25 shifts per butterfly at w=16,
+        BP-NTT performs roughly half the shifts of a word-aligned
+        bit-serial design."""
+        m = BitSerialShiftModel(256, 16)
+        measured = 25 * m.butterflies  # engine measures ~25/butterfly
+        fraction = m.bp_ntt_shift_fraction(measured)
+        assert 0.35 < fraction < 0.55

@@ -1,0 +1,22 @@
+"""Software-baseline timing helper tests."""
+
+from repro.baselines.cpu import CPU_NTT, measured_software_ntt_seconds
+from repro.ntt.params import NTTParams
+
+
+class TestMeasuredSoftwareNTT:
+    def test_returns_positive_median(self):
+        params = NTTParams(n=64, q=7681)
+        seconds = measured_software_ntt_seconds(params, repeats=3)
+        assert seconds > 0
+
+    def test_larger_transform_takes_longer(self):
+        small = NTTParams(n=64, q=7681)
+        large = NTTParams(n=1024, q=12289)
+        t_small = measured_software_ntt_seconds(small, repeats=3)
+        t_large = measured_software_ntt_seconds(large, repeats=3)
+        assert t_large > t_small
+
+    def test_table_row_energy_dwarfs_accelerators(self):
+        # The CPU's 570 uJ vs BP-NTT's tens of nJ: four orders of magnitude.
+        assert CPU_NTT.energy_j / 69.4e-9 > 1e3

@@ -1,0 +1,87 @@
+"""Baseline models must reproduce the Table I derived columns."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    CPU_NTT,
+    CRYPTOPIM,
+    FPGA_NTT,
+    LEIA,
+    MENTT,
+    RMNTT,
+    SAPPHIRE,
+)
+from repro.baselines.base import AcceleratorModel
+from repro.errors import ParameterError
+
+
+class TestTableIDerivedColumns:
+    """Every derived value must land on the printed Table I number."""
+
+    @pytest.mark.parametrize(
+        "model,tput,ta,tp",
+        [
+            (MENTT, 62.8, 364, 20.9),
+            (CRYPTOPIM, 553.3, 3.6e3, 14.7),
+            (RMNTT, 2.2e3, 7.7e3, 1.67),
+            (LEIA, 1.7e3, 940.6, 22.7),
+            (SAPPHIRE, 49.7, 140.1, 4.23),
+            (FPGA_NTT, 41.2, None, None),
+            (CPU_NTT, 11.8, None, None),
+        ],
+    )
+    def test_derived_columns(self, model, tput, ta, tp):
+        assert model.throughput_kntt_per_s == pytest.approx(tput, rel=0.02)
+        if ta is not None:
+            assert model.throughput_per_area == pytest.approx(ta, rel=0.05)
+        if tp is not None:
+            assert model.throughput_per_power == pytest.approx(tp, rel=0.05)
+
+    def test_fpga_and_cpu_have_no_area(self):
+        assert FPGA_NTT.throughput_per_area is None
+        assert CPU_NTT.area_mm2 is None
+
+    def test_all_baselines_listed(self):
+        assert len(ALL_BASELINES) == 7
+        assert all(isinstance(m, AcceleratorModel) for m in ALL_BASELINES)
+
+    def test_power_consistent(self):
+        # power = energy / latency; MeNTT: 47.8nJ / 15.9us ~ 3 mW.
+        assert MENTT.power_w == pytest.approx(3.0e-3, rel=0.01)
+
+
+class TestModelValidation:
+    def test_non_positive_primaries_rejected(self):
+        with pytest.raises(ParameterError):
+            AcceleratorModel(
+                name="x", technology="t", coeff_bits=16, max_freq_hz=1e6,
+                latency_s=0, batch=1, energy_j=1e-9, area_mm2=1.0,
+            )
+
+    def test_table_row_keys(self):
+        row = MENTT.table_row()
+        for key in ("design", "latency_us", "tput_kntt_s", "ta", "tp"):
+            assert key in row
+
+
+class TestPaperHeadlines:
+    """The abstract's claims recomputed from the baseline set."""
+
+    def test_tp_spread_of_paper_row(self):
+        # BP-NTT (paper) at 230.7 KNTT/mJ vs ASIC/FPGA/in-memory designs:
+        # "10-138x better throughput-per-power".
+        paper_tp = 230.7
+        ratios = [paper_tp / m.throughput_per_power for m in
+                  (MENTT, CRYPTOPIM, RMNTT, LEIA, SAPPHIRE)]
+        assert min(ratios) > 10
+        assert max(ratios) < 145
+
+    def test_ta_up_to_29x_vs_asic_fpga(self):
+        paper_ta = 4.1e3
+        assert paper_ta / SAPPHIRE.throughput_per_area == pytest.approx(29, rel=0.05)
+
+    def test_area_advantage(self):
+        # "at least 2.4x-4.6x lower area than state-of-the-art in-memory".
+        assert MENTT.area_mm2 / 0.063 == pytest.approx(2.7, rel=0.05)
+        assert RMNTT.area_mm2 / 0.063 == pytest.approx(4.6, rel=0.05)

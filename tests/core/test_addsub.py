@@ -1,0 +1,172 @@
+"""In-SRAM modular add/sub/canonicalize against plain arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addsub import (
+    emit_cond_subtract,
+    emit_fetch,
+    emit_mod_add,
+    emit_mod_sub,
+    emit_store,
+)
+from repro.core.layout import DataLayout
+from repro.errors import LayoutError
+from repro.sram.executor import Executor
+from repro.sram.program import Program
+from repro.sram.subarray import SRAMSubarray
+
+M, W = 97, 8
+
+
+def setup(order=1, rows=16, cols=32, width=W, modulus=M):
+    layout = DataLayout(rows, cols, width, order)
+    sub = SRAMSubarray(rows, layout.used_cols, width)
+    ex = Executor(sub)
+    sub.broadcast_word(layout.scratch.mod, modulus)
+    return layout, sub, ex
+
+
+def run(layout, ex, emit_fn):
+    prog = Program("t")
+    emit_fn(prog)
+    ex.run(prog)
+
+
+class TestCondSubtract:
+    @given(st.integers(min_value=0, max_value=2 * M - 1))
+    def test_canonicalizes(self, x):
+        layout, sub, ex = setup()
+        sub.broadcast_word(0, x)
+        run(layout, ex, lambda p: emit_cond_subtract(p, layout, 0))
+        assert all(sub.read_word(0, t) == x % M for t in range(sub.num_tiles))
+
+    def test_boundary_values(self):
+        for x in (0, M - 1, M, M + 1, 2 * M - 1):
+            layout, sub, ex = setup()
+            sub.broadcast_word(0, x)
+            run(layout, ex, lambda p: emit_cond_subtract(p, layout, 0))
+            assert sub.read_word(0, 0) == x % M
+
+    def test_temp_alias_rejected(self):
+        layout, _, _ = setup()
+        with pytest.raises(LayoutError):
+            emit_cond_subtract(Program("x"), layout, layout.scratch.t0)
+
+
+class TestModAdd:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=M - 1), st.integers(min_value=0, max_value=M - 1))
+    def test_definition(self, a, b):
+        layout, sub, ex = setup()
+        sub.broadcast_word(0, a)
+        sub.broadcast_word(1, b)
+        run(layout, ex, lambda p: emit_mod_add(p, layout, 2, 0, 1))
+        assert sub.read_word(2, 0) == (a + b) % M
+
+    def test_in_place_accumulation(self):
+        layout, sub, ex = setup()
+        sub.broadcast_word(0, 90)
+        sub.broadcast_word(1, 95)
+        run(layout, ex, lambda p: emit_mod_add(p, layout, 0, 0, 1))
+        assert sub.read_word(0, 0) == (90 + 95) % M
+
+    def test_per_tile_independence(self):
+        layout, sub, ex = setup()
+        values = [(0, 0), (96, 96), (50, 47), (1, 96)]
+        for t, (a, b) in enumerate(values):
+            sub.write_word(0, t, a)
+            sub.write_word(1, t, b)
+        run(layout, ex, lambda p: emit_mod_add(p, layout, 2, 0, 1))
+        assert [sub.read_word(2, t) for t in range(4)] == [(a + b) % M for a, b in values]
+
+
+class TestModSub:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=M - 1), st.integers(min_value=0, max_value=M - 1))
+    def test_definition(self, a, b):
+        layout, sub, ex = setup()
+        sub.broadcast_word(0, a)
+        sub.broadcast_word(1, b)
+        run(layout, ex, lambda p: emit_mod_sub(p, layout, 2, 0, 1))
+        assert sub.read_word(2, 0) == (a - b) % M
+
+    def test_equal_operands_give_zero(self):
+        layout, sub, ex = setup()
+        sub.broadcast_word(0, 42)
+        run(layout, ex, lambda p: emit_mod_sub(p, layout, 2, 0, 0))
+        assert sub.read_word(2, 0) == 0
+
+    def test_mixed_borrow_per_tile(self):
+        layout, sub, ex = setup()
+        pairs = [(5, 90), (90, 5), (0, 1), (96, 96)]
+        for t, (a, b) in enumerate(pairs):
+            sub.write_word(0, t, a)
+            sub.write_word(1, t, b)
+        run(layout, ex, lambda p: emit_mod_sub(p, layout, 2, 0, 1))
+        assert [sub.read_word(2, t) for t in range(4)] == [(a - b) % M for a, b in pairs]
+
+
+class TestFetchStore:
+    def test_fetch_resident_is_free(self):
+        layout, _, _ = setup()
+        prog = Program("x")
+        row = emit_fetch(prog, layout, layout.scratch.landing, 3, 0)
+        assert row == 3 and len(prog) == 0
+
+    def test_fetch_spilled_slides_one_tile(self):
+        layout, sub, ex = setup(order=20, rows=16, cols=32)  # cap=10 -> spill
+        assert layout.uses_spill
+        sub.write_word(0, 1, 0xAB)  # value in spill tile of group 0
+        prog = Program("x")
+        row = emit_fetch(prog, layout, layout.scratch.landing, 0, 1)
+        ex.run(prog)
+        assert row == layout.scratch.landing
+        assert sub.read_word(row, 0) == 0xAB
+
+    def test_store_resident_copy(self):
+        layout, sub, ex = setup()
+        sub.broadcast_word(5, 0x5A)
+        run(layout, ex, lambda p: emit_store(p, layout, 5, 7, 0, layout.scratch.landing))
+        assert sub.read_word(7, 0) == 0x5A
+
+    def test_store_spilled_does_not_clobber_base_tile(self):
+        layout, sub, ex = setup(order=20, rows=16, cols=32)
+        sub.write_word(2, 0, 0x11)  # base tile resident data at dst row
+        sub.broadcast_word(layout.scratch.sum, 0x7F)
+        run(layout, ex, lambda p: emit_store(
+            p, layout, layout.scratch.sum, 2, 1, layout.scratch.carry))
+        assert sub.read_word(2, 0) == 0x11   # untouched
+        assert sub.read_word(2, 1) == 0x7F   # stored in the spill tile
+
+    def test_store_base_offset_gated(self):
+        layout, sub, ex = setup(order=20, rows=16, cols=32)
+        sub.write_word(2, 1, 0x22)  # spill-tile data must survive
+        sub.broadcast_word(layout.scratch.sum, 0x33)
+        run(layout, ex, lambda p: emit_store(
+            p, layout, layout.scratch.sum, 2, 0, layout.scratch.carry))
+        assert sub.read_word(2, 0) == 0x33
+        assert sub.read_word(2, 1) == 0x22
+
+
+class TestRandomizedSequences:
+    def test_chained_operations_match_reference(self):
+        """A random walk of add/sub/canonicalize tracked in software."""
+        layout, sub, ex = setup()
+        rng = random.Random(7)
+        ref = [rng.randrange(M) for _ in range(3)]
+        for row, v in enumerate(ref):
+            sub.broadcast_word(row, v)
+        for _ in range(25):
+            op = rng.choice(("add", "sub"))
+            dst, a, b = (rng.randrange(3) for _ in range(3))
+            if op == "add":
+                run(layout, ex, lambda p: emit_mod_add(p, layout, dst, a, b))
+                ref[dst] = (ref[a] + ref[b]) % M
+            else:
+                run(layout, ex, lambda p: emit_mod_sub(p, layout, dst, a, b))
+                ref[dst] = (ref[a] - ref[b]) % M
+            assert sub.read_word(dst, 0) == ref[dst]

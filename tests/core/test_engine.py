@@ -1,0 +1,188 @@
+"""End-to-end engine tests: the in-SRAM NTT against the gold model."""
+
+import random
+
+import pytest
+
+from repro.core.engine import BPNTTEngine
+from repro.core.scheduler import butterfly_count
+from repro.errors import ParameterError, VerificationError
+from repro.ntt.params import NTTParams
+from repro.ntt.transform import intt_negacyclic, ntt_negacyclic, polymul_negacyclic
+
+SMALL = NTTParams(n=8, q=17)
+MEDIUM = NTTParams(n=16, q=97)
+
+
+def random_batch(engine, seed=0):
+    rng = random.Random(seed)
+    return [
+        [rng.randrange(engine.params.q) for _ in range(engine.params.n)]
+        for _ in range(engine.batch)
+    ]
+
+
+class TestResidentLayout:
+    def test_forward_matches_gold(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        polys = random_batch(eng, 1)
+        eng.load(polys)
+        eng.ntt()
+        assert eng.results() == [ntt_negacyclic(p, SMALL) for p in polys]
+
+    def test_roundtrip(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        polys = random_batch(eng, 2)
+        eng.load(polys)
+        eng.ntt()
+        eng.intt()
+        assert eng.results() == polys
+
+    def test_inverse_of_gold_forward(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        polys = random_batch(eng, 3)
+        hats = [ntt_negacyclic(p, SMALL) for p in polys]
+        eng.load(hats)
+        eng.intt()
+        assert eng.results() == polys
+
+    def test_verify_against_gold_helper(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        polys = random_batch(eng, 4)
+        eng.load(polys)
+        eng.ntt()
+        eng.verify_against_gold(polys)  # should not raise
+        with pytest.raises(VerificationError):
+            eng.verify_against_gold([[1] * 8] * eng.batch)
+
+
+class TestSpillLayout:
+    def test_forward_matches_gold(self):
+        eng = BPNTTEngine(MEDIUM, width=8, rows=16, cols=32)
+        assert eng.layout.uses_spill
+        polys = random_batch(eng, 5)
+        eng.load(polys)
+        eng.ntt()
+        assert eng.results() == [ntt_negacyclic(p, MEDIUM) for p in polys]
+
+    def test_roundtrip(self):
+        eng = BPNTTEngine(MEDIUM, width=8, rows=16, cols=32)
+        polys = random_batch(eng, 6)
+        eng.load(polys)
+        eng.ntt()
+        eng.intt()
+        assert eng.results() == polys
+
+    def test_spill_costs_more_shifts_than_resident(self):
+        spill = BPNTTEngine(MEDIUM, width=8, rows=16, cols=32)
+        resident = BPNTTEngine(MEDIUM, width=8, rows=32, cols=32)
+        assert not resident.layout.uses_spill
+        spill.load(random_batch(spill, 7))
+        resident.load(random_batch(resident, 7))
+        assert spill.ntt().shift_count > resident.ntt().shift_count
+
+
+class TestKernels:
+    def test_pointwise_multiply(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        rng = random.Random(8)
+        polys = random_batch(eng, 8)
+        other = [rng.randrange(17) for _ in range(8)]
+        hats = [ntt_negacyclic(p, SMALL) for p in polys]
+        eng.load(hats)
+        eng.pointwise_multiply(ntt_negacyclic(other, SMALL))
+        expected = [
+            [(x * y) % 17 for x, y in zip(h, ntt_negacyclic(other, SMALL))]
+            for h in hats
+        ]
+        assert eng.results() == expected
+
+    def test_full_polymul(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        rng = random.Random(9)
+        polys = random_batch(eng, 9)
+        other = [rng.randrange(17) for _ in range(8)]
+        eng.load(polys)
+        report = eng.polymul_with(other)
+        assert eng.results() == [polymul_negacyclic(p, other, SMALL) for p in polys]
+        assert report.kernel == "polymul"
+        assert report.cycles > 0
+
+    def test_partial_batch_zero_fills(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        polys = random_batch(eng, 10)[:1]
+        eng.load(polys)
+        eng.ntt()
+        results = eng.results()
+        assert results[0] == ntt_negacyclic(polys[0], SMALL)
+        assert results[1] == [0] * 8  # NTT of zero is zero
+
+
+class TestReports:
+    def test_report_fields_consistent(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        eng.load(random_batch(eng, 11))
+        r = eng.ntt()
+        assert r.batch == eng.batch
+        assert r.latency_s == pytest.approx(r.cycles / eng.tech.frequency_hz)
+        assert r.throughput_kntt_per_s == pytest.approx(
+            r.batch / r.latency_s / 1e3
+        )
+        assert r.energy_per_ntt_nj == pytest.approx(r.energy_nj / r.batch)
+        assert r.power_w == pytest.approx(r.energy_nj * 1e-9 / r.latency_s)
+        assert r.throughput_per_power == pytest.approx(
+            r.batch / (r.energy_nj * 1e-6) / 1e3
+        )
+
+    def test_program_reuse_same_cycles(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        eng.load(random_batch(eng, 12))
+        c1 = eng.ntt().cycles
+        eng.load(random_batch(eng, 13))
+        c2 = eng.ntt().cycles
+        assert c1 == c2  # data-independent schedule
+
+    def test_section_breakdown_covers_modmul(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        eng.load(random_batch(eng, 14))
+        r = eng.ntt()
+        assert "modmul" in r.section_cycles
+        assert r.section_cycles["modmul"] > r.section_cycles["mod_add"]
+
+    def test_butterfly_count_helper(self):
+        assert butterfly_count(8) == 12
+        assert butterfly_count(256) == 1024
+        with pytest.raises(ParameterError):
+            butterfly_count(12)
+
+
+class TestValidation:
+    def test_cyclic_params_rejected(self):
+        with pytest.raises(ParameterError):
+            BPNTTEngine(NTTParams(n=8, q=17, negacyclic=False))
+
+    def test_unsafe_width_rejected(self):
+        # q=97 needs 8 columns; 7 is over the Observation-1 bound.
+        with pytest.raises(ParameterError):
+            eng = BPNTTEngine(MEDIUM, width=7, rows=32, cols=28)
+            eng.load(random_batch(eng))
+            eng.ntt()
+
+    def test_run_before_load_rejected(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        with pytest.raises(ParameterError):
+            eng.ntt()
+
+    def test_overfull_batch_rejected(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        with pytest.raises(ParameterError):
+            eng.load([[0] * 8] * (eng.batch + 1))
+
+    def test_wrong_length_polynomial_rejected(self):
+        eng = BPNTTEngine(SMALL, width=8, rows=32, cols=32)
+        with pytest.raises(ParameterError):
+            eng.load([[0] * 7])
+
+    def test_default_width_is_safe_container(self):
+        eng = BPNTTEngine(SMALL, rows=32, cols=32)
+        assert eng.width == 6  # 17 needs 5 bits + 1 guard

@@ -1,0 +1,105 @@
+"""Unit tests for the Fig 5a data layout."""
+
+import pytest
+
+from repro.core.layout import DataLayout
+from repro.errors import CapacityError, LayoutError, ParameterError
+
+
+class TestConstruction:
+    def test_resident_geometry(self):
+        lay = DataLayout(256, 256, 16, 250)
+        assert lay.num_tiles == 16
+        assert lay.tiles_per_poly == 1
+        assert lay.batch == 16
+        assert not lay.uses_spill
+
+    def test_spill_geometry(self):
+        lay = DataLayout(256, 256, 16, 256)
+        assert lay.tiles_per_poly == 2
+        assert lay.batch == 8
+        assert lay.uses_spill
+
+    def test_leftover_columns_unused(self):
+        lay = DataLayout(256, 256, 15, 128)
+        assert lay.num_tiles == 17
+        assert lay.used_cols == 255
+
+    def test_width_bounds(self):
+        with pytest.raises(ParameterError):
+            DataLayout(256, 256, 2, 8)
+        with pytest.raises(ParameterError):
+            DataLayout(256, 256, 300, 8)
+
+    def test_order_positive(self):
+        with pytest.raises(ParameterError):
+            DataLayout(256, 256, 16, 0)
+
+    def test_capacity_enforced(self):
+        with pytest.raises(CapacityError):
+            DataLayout(256, 256, 16, 4096)
+
+
+class TestScratchRows:
+    def test_scratch_at_top(self):
+        lay = DataLayout(256, 256, 16, 128)
+        s = lay.scratch
+        assert (s.sum, s.carry, s.t0, s.t1, s.landing, s.mod) == (
+            250, 251, 252, 253, 254, 255,
+        )
+
+    def test_scratch_disjoint_from_coefficients(self):
+        lay = DataLayout(64, 64, 8, 58)
+        top_coeff_row = lay.locate(57).row
+        assert top_coeff_row < lay.scratch.sum
+
+
+class TestLocate:
+    def test_resident_mapping(self):
+        lay = DataLayout(256, 256, 16, 250)
+        for c in (0, 100, 249):
+            loc = lay.locate(c)
+            assert loc.row == c and loc.tile_offset == 0 and not loc.is_spilled
+
+    def test_spill_mapping(self):
+        lay = DataLayout(256, 256, 16, 256)
+        assert lay.locate(249).tile_offset == 0
+        loc = lay.locate(250)
+        assert loc.tile_offset == 1 and loc.row == 0 and loc.is_spilled
+        assert lay.locate(255).row == 5
+
+    def test_bounds(self):
+        lay = DataLayout(256, 256, 16, 250)
+        with pytest.raises(LayoutError):
+            lay.locate(250)
+        with pytest.raises(LayoutError):
+            lay.locate(-1)
+
+
+class TestTileOf:
+    def test_groups_are_contiguous(self):
+        lay = DataLayout(256, 256, 16, 256)  # 2 tiles per poly
+        assert lay.tile_of(0, 0) == 0
+        assert lay.tile_of(0, 250) == 1
+        assert lay.tile_of(3, 0) == 6
+        assert lay.tile_of(3, 255) == 7
+
+    def test_slot_bounds(self):
+        lay = DataLayout(256, 256, 16, 256)
+        with pytest.raises(LayoutError):
+            lay.tile_of(8, 0)
+
+
+class TestMasks:
+    def test_base_tile_mask(self):
+        lay = DataLayout(256, 256, 16, 256)  # groups of 2 tiles
+        assert lay.base_tile_mask() == 0b0101010101010101
+
+    def test_offset_tile_mask(self):
+        lay = DataLayout(256, 256, 16, 256)
+        assert lay.offset_tile_mask(1) == 0b1010101010101010
+        with pytest.raises(LayoutError):
+            lay.offset_tile_mask(2)
+
+    def test_word_mask(self):
+        assert DataLayout(256, 256, 16, 128).word_mask() == 0xFFFF

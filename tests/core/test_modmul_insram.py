@@ -1,0 +1,101 @@
+"""The compiled Algorithm 2 must agree with its functional model and the
+Montgomery definition — on every tile simultaneously."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addsub import emit_cond_subtract, emit_resolve
+from repro.core.layout import DataLayout
+from repro.core.modmul import emit_modmul, modmul_instruction_count
+from repro.errors import ParameterError
+from repro.mont.bitparallel import bp_modmul, montgomery_expected
+from repro.sram.executor import Executor
+from repro.sram.program import Program
+from repro.sram.subarray import SRAMSubarray
+
+
+def run_modmul(a, b_values, modulus, width=8, rows=16, cols=32, resolve=True):
+    """Compile and execute one modmul over a batch of B operands."""
+    layout = DataLayout(rows, cols, width, order=1)
+    sub = SRAMSubarray(rows, layout.used_cols, width)
+    ex = Executor(sub)
+    sub.broadcast_word(layout.scratch.mod, modulus)
+    b_row = 0
+    for tile, b in enumerate(b_values):
+        sub.write_word(b_row, tile, b)
+    prog = Program("modmul")
+    emit_modmul(prog, layout, a, b_row)
+    if resolve:
+        emit_resolve(prog, layout)
+        emit_cond_subtract(prog, layout, layout.scratch.sum)
+    ex.run(prog)
+    return [sub.read_word(layout.scratch.sum, t) for t in range(len(b_values))], ex
+
+
+class TestAgainstDefinition:
+    @pytest.mark.parametrize("modulus,width", [(17, 6), (97, 8), (113, 8)])
+    def test_random_batches(self, modulus, width):
+        rng = random.Random(modulus)
+        for _ in range(20):
+            a = rng.randrange(modulus)
+            bs = [rng.randrange(modulus) for _ in range(4)]
+            got, _ = run_modmul(a, bs, modulus, width=width)
+            expected = [montgomery_expected(a, b, modulus, width) for b in bs]
+            assert got == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=96),
+        st.lists(st.integers(min_value=0, max_value=96), min_size=4, max_size=4),
+    )
+    def test_hypothesis_batch(self, a, bs):
+        got, _ = run_modmul(a, bs, 97, width=8)
+        assert got == [montgomery_expected(a, b, 97, 8) for b in bs]
+
+    def test_tiles_are_independent(self):
+        # Different data per tile, one instruction stream.
+        got, _ = run_modmul(5, [0, 1, 50, 96], 97, width=8)
+        assert got == [montgomery_expected(5, b, 97, 8) for b in (0, 1, 50, 96)]
+
+    def test_matches_functional_model_unnormalized(self):
+        layout = DataLayout(16, 32, 8, order=1)
+        sub = SRAMSubarray(16, layout.used_cols, 8)
+        ex = Executor(sub)
+        sub.broadcast_word(layout.scratch.mod, 97)
+        sub.write_word(0, 0, 42)
+        prog = Program("raw")
+        emit_modmul(prog, layout, 33, 0)
+        ex.run(prog)
+        s = sub.read_word(layout.scratch.sum, 0)
+        c = sub.read_word(layout.scratch.carry, 0)
+        assert (s + 2 * c) % 97 == montgomery_expected(33, 42, 97, 8)
+        assert s + 2 * c == bp_modmul(33, 42, 97, 8, normalize=False)
+
+
+class TestInstructionCount:
+    def test_closed_form_matches_emission(self):
+        layout = DataLayout(16, 32, 8, order=1)
+        for a in (0, 1, 0b10101010, 0xFF):
+            prog = Program("count")
+            emit_modmul(prog, layout, a, 0)
+            assert len(prog) == modmul_instruction_count(8, a)
+
+    def test_zero_twiddle_is_cheapest(self):
+        assert modmul_instruction_count(16, 0) == 2 + 9 * 16
+        assert modmul_instruction_count(16, 0xFFFF) == 2 + 9 * 16 + 6 * 16
+
+    def test_twiddle_must_fit(self):
+        layout = DataLayout(16, 32, 8, order=1)
+        with pytest.raises(ParameterError):
+            emit_modmul(Program("x"), layout, 256, 0)
+
+
+class TestSectionAttribution:
+    def test_modmul_section_recorded(self):
+        layout = DataLayout(16, 32, 8, order=1)
+        prog = Program("x")
+        emit_modmul(prog, layout, 7, 0)
+        assert prog.section_histogram() == {"modmul": len(prog)}

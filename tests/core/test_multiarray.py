@@ -1,0 +1,103 @@
+"""Banked multi-subarray engine tests."""
+
+import random
+
+import pytest
+
+from repro.core.multiarray import BankedEngine, subarrays_needed
+from repro.errors import CapacityError, ParameterError
+from repro.ntt.params import NTTParams
+from repro.ntt.transform import ntt_negacyclic
+from repro.sram.cache import BankGeometry
+
+SMALL = NTTParams(n=8, q=17)
+GEOM = BankGeometry(subarrays_per_bank=4, rows=32, cols=32)
+
+
+def make_bank():
+    return BankedEngine(SMALL, width=8, geometry=GEOM)
+
+
+class TestCapacity:
+    def test_three_data_subarrays(self):
+        bank = make_bank()
+        assert len(bank.engines) == 3
+        assert bank.total_batch == 3 * bank.per_subarray_batch
+
+    def test_area_charges_ctrl_subarray(self):
+        bank = make_bank()
+        single = bank.engines[0].tech.subarray_area_mm2(32, 32)
+        assert bank.area_mm2 == pytest.approx(4 * single)
+
+    def test_subarrays_needed(self):
+        assert subarrays_needed(100, 8) == 13
+        assert subarrays_needed(8, 8) == 1
+        with pytest.raises(ParameterError):
+            subarrays_needed(0, 8)
+
+
+class TestExecution:
+    def test_full_bank_matches_gold(self):
+        bank = make_bank()
+        rng = random.Random(1)
+        polys = [
+            [rng.randrange(17) for _ in range(8)] for _ in range(bank.total_batch)
+        ]
+        bank.load(polys)
+        report = bank.ntt()
+        assert bank.results() == [ntt_negacyclic(p, SMALL) for p in polys]
+        assert report.total_batch == bank.total_batch
+        assert report.subarrays == 3
+
+    def test_roundtrip(self):
+        bank = make_bank()
+        rng = random.Random(2)
+        polys = [
+            [rng.randrange(17) for _ in range(8)] for _ in range(bank.total_batch)
+        ]
+        bank.load(polys)
+        bank.ntt()
+        bank.intt()
+        assert bank.results() == polys
+
+    def test_partial_load_zero_fills(self):
+        bank = make_bank()
+        polys = [[1] * 8]
+        bank.load(polys)
+        bank.ntt()
+        results = bank.results()
+        assert results[0] == ntt_negacyclic([1] * 8, SMALL)
+        assert results[-1] == [0] * 8
+
+    def test_overload_rejected(self):
+        bank = make_bank()
+        with pytest.raises(CapacityError):
+            bank.load([[0] * 8] * (bank.total_batch + 1))
+
+
+class TestScaling:
+    def test_latency_flat_energy_scales(self):
+        """Throughput scales with subarrays at constant latency."""
+        bank = make_bank()
+        rng = random.Random(3)
+        polys = [
+            [rng.randrange(17) for _ in range(8)] for _ in range(bank.total_batch)
+        ]
+        bank.load(polys)
+        bank_report = bank.ntt()
+
+        single = bank.engines[0]
+        single_report = single._report("ntt", single.executor.stats)
+        assert bank_report.cycles == single.ntt().cycles  # same program
+        assert bank_report.throughput_kntt_per_s == pytest.approx(
+            3 * (bank.per_subarray_batch / bank_report.latency_s / 1e3)
+        )
+
+    def test_tp_invariant_under_ganging(self):
+        # Energy and batch scale together: KNTT/mJ unchanged.
+        bank = make_bank()
+        bank.load([[5] * 8] * bank.total_batch)
+        bank_report = bank.ntt()
+        eng = bank.engines[0]
+        per_tp = eng.batch / (bank_report.energy_nj / 3 * 1e-6) / 1e3
+        assert bank_report.throughput_per_power == pytest.approx(per_tp)

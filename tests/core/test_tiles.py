@@ -1,0 +1,98 @@
+"""Capacity arithmetic tests — the §I and §IV-B claims."""
+
+import pytest
+
+from repro.core.tiles import (
+    SCRATCH_ROW_COUNT,
+    batch_size,
+    capacity_report,
+    container_width,
+    tiles_per_polynomial,
+)
+from repro.errors import CapacityError, ParameterError
+from repro.mont.bitparallel import safe_modulus_bound
+
+
+class TestContainerWidth:
+    @pytest.mark.parametrize(
+        "q,expected",
+        [(3329, 13), (7681, 14), (12289, 15), (8380417, 24), (17, 6)],
+    )
+    def test_one_guard_bit(self, q, expected):
+        assert container_width(q) == expected
+
+    def test_minimum_rounds_up(self):
+        assert container_width(3329, minimum=16) == 16
+
+    def test_result_is_safe(self):
+        for q in (17, 97, 3329, 7681, 12289, 8380417):
+            assert q <= safe_modulus_bound(container_width(q))
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            container_width(1)
+
+
+class TestCapacityClaims:
+    """The paper's §I headline numbers for a 256x256 subarray."""
+
+    def test_256bit_coefficients_250_points(self):
+        # "a single 256x256 SRAM subarray ... up to a 250-point polynomial
+        # with 256-bit coefficients"
+        report = capacity_report(256, 256, 256)
+        assert report.num_tiles == 1
+        assert report.max_resident_order == 250
+
+    def test_14bit_coefficients_4500_points(self):
+        # "... or a 4500-point polynomial with 14-bit coefficients"
+        report = capacity_report(256, 256, 14)
+        assert report.num_tiles == 18
+        assert report.paper_claimed_order == 4500
+
+    def test_fig5a_configuration(self):
+        # Fig 5(a): 8 tiles of 32-bit coefficients, 250 coefficient rows.
+        report = capacity_report(256, 256, 32)
+        assert report.num_tiles == 8
+        assert report.coeff_rows_per_tile == 250
+
+    def test_scratch_rows_is_six(self):
+        # Fig 5(a): "250 rows for coefficients and 6 rows for intermediate
+        # variables".
+        assert SCRATCH_ROW_COUNT == 6
+
+    def test_16bit_configuration(self):
+        report = capacity_report(256, 256, 16)
+        assert report.num_tiles == 16
+        assert report.max_order == 4000
+
+    def test_width_validated(self):
+        with pytest.raises(ParameterError):
+            capacity_report(256, 256, 0)
+        with pytest.raises(ParameterError):
+            capacity_report(256, 256, 300)
+
+    def test_rows_must_exceed_scratch(self):
+        with pytest.raises(CapacityError):
+            capacity_report(6, 256, 16)
+
+
+class TestBatchArithmetic:
+    def test_resident_polynomial(self):
+        assert tiles_per_polynomial(250) == 1
+        assert batch_size(250, width=16) == 16
+
+    def test_spilled_polynomial(self):
+        assert tiles_per_polynomial(256) == 2
+        assert batch_size(256, width=16) == 8
+
+    def test_pqc_sizes(self):
+        assert batch_size(1024, width=16) == 3   # 1024 -> 5 tiles
+        assert batch_size(512, width=14) == 6    # 512 -> 3 tiles, 18 available
+
+    def test_too_large_rejected(self):
+        with pytest.raises(CapacityError):
+            batch_size(4096, width=16)  # needs 17 of 16 tiles
+
+    def test_order_validated(self):
+        with pytest.raises(ParameterError):
+            tiles_per_polynomial(0)

@@ -1,0 +1,61 @@
+"""Dilithium ring tests (q=8380417, full 8-layer NTT)."""
+
+import random
+
+import pytest
+
+from repro.crypto.dilithium import (
+    DILITHIUM_N,
+    DILITHIUM_Q,
+    PARAMS,
+    dilithium_intt,
+    dilithium_ntt,
+    dilithium_polymul,
+    spec_root_is_valid,
+)
+from repro.errors import ParameterError
+from repro.ntt.transform import schoolbook_negacyclic
+
+
+def rand_poly(seed):
+    rng = random.Random(seed)
+    return [rng.randrange(DILITHIUM_Q) for _ in range(DILITHIUM_N)]
+
+
+class TestParameters:
+    def test_spec_root(self):
+        assert spec_root_is_valid()
+
+    def test_full_ntt_exists(self):
+        # 512 | q - 1, unlike Kyber.
+        assert (DILITHIUM_Q - 1) % 512 == 0
+
+    def test_container_needs_24_bits(self):
+        # q/2^23 = 0.999: the n-column optimization cannot hold; the
+        # engine's container sizing gives 24.
+        from repro.core.tiles import container_width
+
+        assert PARAMS.coeff_bits == 23
+        assert container_width(DILITHIUM_Q) == 24
+
+
+class TestTransform:
+    def test_roundtrip(self):
+        f = rand_poly(1)
+        assert dilithium_intt(dilithium_ntt(f)) == f
+
+    def test_polymul_against_schoolbook(self):
+        a, b = rand_poly(2), rand_poly(3)
+        assert dilithium_polymul(a, b) == schoolbook_negacyclic(a, b, DILITHIUM_Q)
+
+    def test_length_validated(self):
+        with pytest.raises(ParameterError):
+            dilithium_ntt([0] * 100)
+
+    def test_pointwise_product_in_ntt_domain(self):
+        a, b = rand_poly(4), rand_poly(5)
+        hat = [
+            (x * y) % DILITHIUM_Q
+            for x, y in zip(dilithium_ntt(a), dilithium_ntt(b))
+        ]
+        assert dilithium_intt(hat) == schoolbook_negacyclic(a, b, DILITHIUM_Q)

@@ -1,0 +1,121 @@
+"""BFV-lite homomorphic encryption tests."""
+
+import random
+
+import pytest
+
+from repro.crypto.he import HEContext
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams, get_params
+from repro.ntt.transform import schoolbook_negacyclic
+
+HE29 = get_params("he-29bit")  # 1024-point, 29-bit q: roomy noise budget
+
+
+def context(seed=0, t=16, params=HE29):
+    return HEContext(params, plaintext_modulus=t, rng=random.Random(seed))
+
+
+def rand_message(ctx, seed):
+    rng = random.Random(seed)
+    return [rng.randrange(ctx.t) for _ in range(ctx.params.n)]
+
+
+class TestRoundtrip:
+    def test_encrypt_decrypt(self):
+        ctx = context(1)
+        key = ctx.keygen()
+        msg = rand_message(ctx, 2)
+        assert ctx.decrypt(key, ctx.encrypt(key, msg)) == msg
+
+    def test_noise_within_budget(self):
+        ctx = context(3)
+        key = ctx.keygen()
+        msg = rand_message(ctx, 4)
+        ct = ctx.encrypt(key, msg)
+        assert ctx.noise_of(key, ct, msg) < ctx.noise_budget
+
+    def test_smaller_he_level_also_works(self):
+        ctx = context(5, t=4, params=get_params("he-16bit"))
+        key = ctx.keygen()
+        msg = rand_message(ctx, 6)
+        assert ctx.decrypt(key, ctx.encrypt(key, msg)) == msg
+
+
+class TestHomomorphicAdd:
+    def test_two_ciphertexts(self):
+        ctx = context(7)
+        key = ctx.keygen()
+        m1, m2 = rand_message(ctx, 8), rand_message(ctx, 9)
+        ct = ctx.add(ctx.encrypt(key, m1), ctx.encrypt(key, m2))
+        expected = [(a + b) % ctx.t for a, b in zip(m1, m2)]
+        assert ctx.decrypt(key, ct) == expected
+
+    def test_operator_form(self):
+        ctx = context(10)
+        key = ctx.keygen()
+        m1, m2 = rand_message(ctx, 11), rand_message(ctx, 12)
+        ct = ctx.encrypt(key, m1) + ctx.encrypt(key, m2)
+        assert ctx.decrypt(key, ct) == [(a + b) % ctx.t for a, b in zip(m1, m2)]
+
+    def test_many_additions_respect_budget(self):
+        # Sum 8 ciphertexts: noise grows linearly, still decryptable.
+        ctx = context(13)
+        key = ctx.keygen()
+        messages = [rand_message(ctx, 20 + i) for i in range(8)]
+        acc = ctx.encrypt(key, messages[0])
+        for m in messages[1:]:
+            acc = acc + ctx.encrypt(key, m)
+        expected = [sum(col) % ctx.t for col in zip(*messages)]
+        assert ctx.decrypt(key, acc) == expected
+
+
+class TestPlaintextMultiply:
+    def test_multiply_plain(self):
+        ctx = context(14, t=8)
+        key = ctx.keygen()
+        msg = rand_message(ctx, 15)
+        # Sparse small plaintext keeps the noise growth modest.
+        plain = [0] * ctx.params.n
+        plain[0], plain[3] = 2, 1
+        ct = ctx.multiply_plain(ctx.encrypt(key, msg), plain)
+        # The recovered message is the negacyclic product over Z reduced
+        # mod t (reducing mod q first would be wrong: q is not 0 mod t).
+        expected = schoolbook_negacyclic(msg, plain, ctx.t)
+        assert ctx.decrypt(key, ct) == expected
+
+    def test_multiply_by_one_is_identity(self):
+        ctx = context(16)
+        key = ctx.keygen()
+        msg = rand_message(ctx, 17)
+        one = [1] + [0] * (ctx.params.n - 1)
+        ct = ctx.multiply_plain(ctx.encrypt(key, msg), one)
+        assert ctx.decrypt(key, ct) == msg
+
+    def test_length_validated(self):
+        ctx = context(18)
+        key = ctx.keygen()
+        ct = ctx.encrypt(key, rand_message(ctx, 19))
+        with pytest.raises(ParameterError):
+            ctx.multiply_plain(ct, [1, 2, 3])
+
+
+class TestValidation:
+    def test_cyclic_ring_rejected(self):
+        with pytest.raises(ParameterError):
+            HEContext(NTTParams(n=8, q=17, negacyclic=False))
+
+    def test_plaintext_modulus_bounds(self):
+        with pytest.raises(ParameterError):
+            HEContext(HE29, plaintext_modulus=1)
+        with pytest.raises(ParameterError):
+            HEContext(get_params("kyber-v1"), plaintext_modulus=4000)
+
+    def test_message_length_checked(self):
+        ctx = context(20)
+        key = ctx.keygen()
+        with pytest.raises(ParameterError):
+            ctx.encrypt(key, [0] * 3)
+
+    def test_repr(self):
+        assert "delta=" in repr(context(21))

@@ -1,0 +1,101 @@
+"""Real CRYSTALS-Kyber ring tests (q=3329, incomplete NTT)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.kyber import (
+    KYBER_N,
+    KYBER_Q,
+    ZETAS,
+    kyber_basemul,
+    kyber_intt,
+    kyber_ntt,
+    kyber_polymul,
+)
+from repro.errors import ParameterError
+from repro.ntt.transform import schoolbook_negacyclic
+
+small_polys = st.lists(
+    st.integers(min_value=0, max_value=KYBER_Q - 1), min_size=256, max_size=256
+)
+
+
+def rand_poly(seed):
+    rng = random.Random(seed)
+    return [rng.randrange(KYBER_Q) for _ in range(KYBER_N)]
+
+
+class TestZetaTable:
+    def test_first_entry_is_one(self):
+        assert ZETAS[0] == 1
+
+    def test_root_order(self):
+        # 17 is a primitive 256th root: 17^128 == -1 mod q.
+        assert pow(17, 128, KYBER_Q) == KYBER_Q - 1
+        assert pow(17, 256, KYBER_Q) == 1
+
+    def test_table_length(self):
+        assert len(ZETAS) == 128
+
+    def test_known_spec_values(self):
+        # First few zetas from the Kyber reference implementation
+        # (plain domain): 1, 1729, 2580, 3289.
+        assert ZETAS[:4] == [1, 1729, 2580, 3289]
+
+
+class TestTransform:
+    def test_roundtrip(self):
+        f = rand_poly(1)
+        assert kyber_intt(kyber_ntt(f)) == f
+
+    @settings(max_examples=10)
+    @given(small_polys)
+    def test_roundtrip_property(self, f):
+        assert kyber_intt(kyber_ntt(f)) == [x % KYBER_Q for x in f]
+
+    def test_linearity(self):
+        a, b = rand_poly(2), rand_poly(3)
+        summed = [(x + y) % KYBER_Q for x, y in zip(a, b)]
+        hat_sum = kyber_ntt(summed)
+        manual = [
+            (x + y) % KYBER_Q for x, y in zip(kyber_ntt(a), kyber_ntt(b))
+        ]
+        assert hat_sum == manual
+
+    def test_length_validated(self):
+        with pytest.raises(ParameterError):
+            kyber_ntt([0] * 255)
+        with pytest.raises(ParameterError):
+            kyber_intt([0] * 257)
+
+
+class TestPolymul:
+    def test_against_schoolbook(self):
+        a, b = rand_poly(4), rand_poly(5)
+        assert kyber_polymul(a, b) == schoolbook_negacyclic(a, b, KYBER_Q)
+
+    def test_identity(self):
+        a = rand_poly(6)
+        one = [1] + [0] * 255
+        assert kyber_polymul(a, one) == a
+
+    def test_commutative(self):
+        a, b = rand_poly(7), rand_poly(8)
+        assert kyber_polymul(a, b) == kyber_polymul(b, a)
+
+    def test_negacyclic_wrap(self):
+        # x^255 * x == -1.
+        x = [0, 1] + [0] * 254
+        x255 = [0] * 255 + [1]
+        expected = [KYBER_Q - 1] + [0] * 255
+        assert kyber_polymul(x, x255) == expected
+
+    def test_basemul_is_pointwise_in_quadratic_rings(self):
+        # basemul(NTT(a), NTT(b)) == NTT(a *negacyclic* b).
+        a, b = rand_poly(9), rand_poly(10)
+        lhs = kyber_basemul(kyber_ntt(a), kyber_ntt(b))
+        rhs = kyber_ntt(schoolbook_negacyclic(a, b, KYBER_Q))
+        assert lhs == rhs

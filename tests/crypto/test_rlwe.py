@@ -1,0 +1,85 @@
+"""R-LWE encryption scheme tests."""
+
+import random
+
+import pytest
+
+from repro.crypto.rlwe import RLWEScheme
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams, get_params
+
+HE = get_params("he-16bit")
+
+
+def scheme(seed=0, **kwargs):
+    return RLWEScheme(HE, rng=random.Random(seed), **kwargs)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_encrypt_decrypt(self, seed):
+        s = scheme(seed)
+        key = s.keygen()
+        rng = random.Random(seed + 100)
+        msg = [rng.randrange(2) for _ in range(HE.n)]
+        assert s.decrypt(key, s.encrypt(key, msg)) == msg
+
+    def test_all_zero_and_all_one_messages(self):
+        s = scheme(4)
+        key = s.keygen()
+        for msg in ([0] * HE.n, [1] * HE.n):
+            assert s.decrypt(key, s.encrypt(key, msg)) == msg
+
+    def test_falcon_parameters_work_too(self):
+        params = get_params("falcon512")
+        s = RLWEScheme(params, noise_bound=1, rng=random.Random(5))
+        key = s.keygen()
+        msg = [i % 2 for i in range(params.n)]
+        assert s.decrypt(key, s.encrypt(key, msg)) == msg
+
+    def test_wrong_key_garbles_message(self):
+        s = scheme(6)
+        key = s.keygen()
+        other = s.keygen()
+        rng = random.Random(7)
+        msg = [rng.randrange(2) for _ in range(HE.n)]
+        decrypted = s.decrypt(other, s.encrypt(key, msg))
+        mismatches = sum(a != b for a, b in zip(decrypted, msg))
+        assert mismatches > HE.n // 4  # statistically garbage
+
+
+class TestValidation:
+    def test_cyclic_ring_rejected(self):
+        params = NTTParams(n=8, q=17, negacyclic=False)
+        with pytest.raises(ParameterError):
+            RLWEScheme(params)
+
+    def test_noise_bound_checked_against_q(self):
+        small = NTTParams(n=256, q=7681)
+        with pytest.raises(ParameterError):
+            RLWEScheme(small, noise_bound=50)
+
+    def test_message_length_checked(self):
+        s = scheme(8)
+        key = s.keygen()
+        with pytest.raises(ParameterError):
+            s.encrypt(key, [0] * (HE.n - 1))
+
+    def test_message_bits_checked(self):
+        s = scheme(9)
+        key = s.keygen()
+        with pytest.raises(ParameterError):
+            s.encrypt(key, [2] + [0] * (HE.n - 1))
+
+
+class TestStructure:
+    def test_public_key_hides_secret_via_noise(self):
+        # b - a*s equals the error, which must be small and nonzero.
+        s = scheme(10)
+        key = s.keygen()
+        error = key.b - key.a * key.s
+        centered = error.centered()
+        assert all(abs(c) <= s.noise_bound for c in centered)
+
+    def test_repr(self):
+        assert "noise_bound=1" in repr(scheme(11))

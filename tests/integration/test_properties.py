@@ -1,0 +1,195 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants.
+
+These pin the algebraic laws the whole system rests on:
+
+- the NTT is a ring isomorphism (convolution theorem),
+- Algorithm 2 is bilinear in its operands,
+- carry-save accumulators preserve value under arbitrary add sequences,
+- the data layout is a bijection (no coefficient collisions, no scratch
+  overlap) over arbitrary geometries.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import DataLayout
+from repro.errors import CapacityError, ParameterError
+from repro.mont.bitparallel import bp_modmul, montgomery_expected
+from repro.mont.csa import carry_save_add, resolve_carry
+from repro.ntt.params import NTTParams
+from repro.ntt.transform import (
+    intt_negacyclic,
+    ntt_negacyclic,
+    schoolbook_negacyclic,
+)
+
+SMALL = NTTParams(n=8, q=17)
+coeffs8 = st.lists(st.integers(min_value=0, max_value=16), min_size=8, max_size=8)
+
+
+class TestConvolutionTheorem:
+    """NTT(a (*) b) == NTT(a) . NTT(b) pointwise — in any index order,
+    since bit reversal permutes both sides identically."""
+
+    @settings(max_examples=30)
+    @given(coeffs8, coeffs8)
+    def test_forward_maps_convolution_to_pointwise(self, a, b):
+        conv = schoolbook_negacyclic(a, b, SMALL.q)
+        lhs = ntt_negacyclic(conv, SMALL)
+        rhs = [
+            (x * y) % SMALL.q
+            for x, y in zip(ntt_negacyclic(a, SMALL), ntt_negacyclic(b, SMALL))
+        ]
+        assert lhs == rhs
+
+    @settings(max_examples=30)
+    @given(coeffs8, coeffs8)
+    def test_inverse_maps_pointwise_to_convolution(self, a, b):
+        pointwise = [
+            (x * y) % SMALL.q
+            for x, y in zip(ntt_negacyclic(a, SMALL), ntt_negacyclic(b, SMALL))
+        ]
+        assert intt_negacyclic(pointwise, SMALL) == schoolbook_negacyclic(
+            a, b, SMALL.q
+        )
+
+    @settings(max_examples=20)
+    @given(coeffs8, st.integers(min_value=0, max_value=16))
+    def test_scalar_multiplication_commutes(self, a, c):
+        scaled = [(c * x) % SMALL.q for x in a]
+        assert ntt_negacyclic(scaled, SMALL) == [
+            (c * x) % SMALL.q for x in ntt_negacyclic(a, SMALL)
+        ]
+
+
+class TestAlgorithm2Bilinearity:
+    M, W = 3329, 13
+
+    @settings(max_examples=40)
+    @given(
+        st.integers(min_value=0, max_value=3328),
+        st.integers(min_value=0, max_value=3328),
+        st.integers(min_value=0, max_value=3328),
+    )
+    def test_linear_in_b(self, a, b1, b2):
+        lhs = bp_modmul(a, (b1 + b2) % self.M, self.M, self.W)
+        rhs = (
+            bp_modmul(a, b1, self.M, self.W) + bp_modmul(a, b2, self.M, self.W)
+        ) % self.M
+        assert lhs == rhs
+
+    @settings(max_examples=40)
+    @given(
+        st.integers(min_value=0, max_value=3328),
+        st.integers(min_value=0, max_value=3328),
+        st.integers(min_value=0, max_value=3328),
+    )
+    def test_linear_in_a(self, a1, a2, b):
+        lhs = bp_modmul((a1 + a2) % self.M, b, self.M, self.W)
+        rhs = (
+            bp_modmul(a1, b, self.M, self.W) + bp_modmul(a2, b, self.M, self.W)
+        ) % self.M
+        assert lhs == rhs
+
+    @settings(max_examples=40)
+    @given(st.data())
+    def test_agreement_across_widths(self, data):
+        """The same (a, b, M) gives consistent answers at every legal
+        width, up to the Montgomery factor 2^-w."""
+        m = 97
+        a = data.draw(st.integers(min_value=0, max_value=96))
+        b = data.draw(st.integers(min_value=0, max_value=96))
+        for width in (8, 10, 16):
+            got = bp_modmul(a, b, m, width)
+            assert got == montgomery_expected(a, b, m, width)
+            # Undo the Montgomery factor: all widths agree on a*b mod M.
+            assert (got * pow(2, width, m)) % m == (a * b) % m
+
+
+class TestCarrySaveAccumulator:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=2**10 - 1), min_size=1, max_size=8))
+    def test_value_preserved_over_add_sequences(self, addends):
+        """Folding any addend sequence keeps P == sum, as long as the
+        running value fits the width (choose width generously)."""
+        width = 16
+        s, c = 0, 0
+        total = 0
+        for addend in addends:
+            c, s = carry_save_add(s, c, addend, width)
+            total += addend
+            assert resolve_carry(s, c) == total
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=0, max_value=2**15 - 1))
+    def test_zero_add_is_identity(self, value):
+        c, s = carry_save_add(value, 0, 0, 16)
+        assert resolve_carry(s, c) == value
+
+
+class TestLayoutBijection:
+    geometries = st.tuples(
+        st.integers(min_value=10, max_value=64),   # rows
+        st.sampled_from([4, 6, 8, 12, 16]),        # width
+        st.integers(min_value=1, max_value=120),   # order
+    )
+
+    @settings(max_examples=60)
+    @given(geometries)
+    def test_no_collisions_and_no_scratch_overlap(self, geom):
+        rows, width, order = geom
+        try:
+            layout = DataLayout(rows, 4 * width, width, order)
+        except (CapacityError, ParameterError):
+            return  # infeasible geometry is allowed to be rejected
+        seen = set()
+        for slot in range(layout.batch):
+            for index in range(order):
+                loc = layout.locate(index)
+                tile = layout.tile_of(slot, index)
+                key = (tile, loc.row)
+                assert key not in seen, "two coefficients share a cell"
+                seen.add(key)
+                assert loc.row < layout.scratch.sum, "coefficient in scratch"
+
+    @settings(max_examples=60)
+    @given(geometries)
+    def test_batch_times_tiles_bounded(self, geom):
+        rows, width, order = geom
+        try:
+            layout = DataLayout(rows, 4 * width, width, order)
+        except (CapacityError, ParameterError):
+            return
+        assert layout.batch * layout.tiles_per_poly <= layout.num_tiles
+        assert layout.batch >= 1
+
+
+class TestEngineRandomRings:
+    """End-to-end hypothesis test: random small rings on the engine."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.data())
+    def test_roundtrip_random_ring(self, data):
+        n = data.draw(st.sampled_from([4, 8, 16]))
+        q = data.draw(st.sampled_from([17, 97, 193]))
+        if (q - 1) % (2 * n) != 0:
+            return
+        params = NTTParams(n=n, q=q)
+        width = params.coeff_bits + 1
+        from repro.core.engine import BPNTTEngine
+
+        engine = BPNTTEngine(params, width=width, rows=max(24, n + 8),
+                             cols=4 * width)
+        seed = data.draw(st.integers(min_value=0, max_value=2**16))
+        rng = random.Random(seed)
+        polys = [
+            [rng.randrange(q) for _ in range(n)] for _ in range(engine.batch)
+        ]
+        engine.load(polys)
+        engine.ntt()
+        assert engine.results() == [ntt_negacyclic(p, params) for p in polys]
+        engine.intt()
+        assert engine.results() == polys

@@ -1,0 +1,58 @@
+"""The Table I 16-bit configuration (q=18433) end to end.
+
+Table I's BP-NTT row is labeled "16-bit coefficients"; the library's
+``table1-16bit`` parameter set uses q=18433 (a 15-bit NTT-friendly
+prime that fits a 16-bit container under the Observation-1 bound).
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import BPNTTEngine
+from repro.mont.bitparallel import safe_modulus_bound
+from repro.ntt.params import get_params
+from repro.ntt.transform import intt_negacyclic, ntt_negacyclic
+
+
+@pytest.fixture(scope="module")
+def engine_and_report():
+    params = get_params("table1-16bit")
+    engine = BPNTTEngine(params, width=16)
+    rng = random.Random(77)
+    polys = [
+        [rng.randrange(params.q) for _ in range(params.n)]
+        for _ in range(engine.batch)
+    ]
+    engine.load(polys)
+    report = engine.ntt()
+    return engine, report, polys
+
+
+class TestSixteenBitConfig:
+    def test_modulus_fits_container(self):
+        params = get_params("table1-16bit")
+        assert params.q == 18433
+        assert params.q <= safe_modulus_bound(16)
+
+    def test_forward_matches_gold(self, engine_and_report):
+        engine, _, polys = engine_and_report
+        params = engine.params
+        assert engine.results() == [ntt_negacyclic(p, params) for p in polys]
+
+    def test_roundtrip(self, engine_and_report):
+        engine, _, polys = engine_and_report
+        engine.intt()
+        assert engine.results() == polys
+
+    def test_cycle_count_matches_14bit_config(self, engine_and_report):
+        """The schedule cost depends on twiddle bit patterns, not q:
+        both Table I configs land within a few percent."""
+        _, report, _ = engine_and_report
+        assert report.cycles == pytest.approx(305_232, rel=0.03)
+
+    def test_operating_point_sane(self, engine_and_report):
+        engine, report, _ = engine_and_report
+        assert engine.batch == 8
+        assert 60e-6 < report.latency_s < 100e-6
+        assert 50 < report.energy_nj < 90

@@ -1,0 +1,236 @@
+"""Unit + property tests for Algorithm 2 (bit-parallel Montgomery).
+
+These tests realize the paper's §V-A statement: "The correctness of the
+proposed bit-parallel modular multiplication has been validated for
+various bitwidths."
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.mont.bitparallel import (
+    bp_modmul,
+    bp_modmul_traced,
+    bp_modmul_vanilla,
+    format_trace,
+    montgomery_expected,
+    safe_modulus_bound,
+)
+
+
+class TestFig6Example:
+    """The paper's worked 3-bit example: A=4, B=3, M=7 -> 5."""
+
+    def test_final_registers(self):
+        r = bp_modmul_traced(4, 3, 7, 3)
+        assert r.sum_bits == 0b001
+        assert r.carry_bits == 0b010
+        assert r.raw_value == 5
+        assert r.result == 5
+
+    def test_p_stays_zero_for_two_iterations(self):
+        # "Due to the lowest two bits of A, P remains 0 after two iterations."
+        r = bp_modmul_traced(4, 3, 7, 3)
+        assert r.iterations[0].partial_value == 0
+        assert r.iterations[1].partial_value == 0
+
+    def test_third_iteration_adds_b(self):
+        r = bp_modmul_traced(4, 3, 7, 3)
+        assert r.iterations[2].a_bit == 1
+        assert r.iterations[2].partial_value == 5
+
+    def test_matches_ab_mod_m_through_montgomery_identity(self):
+        # A=4 stands for AR: 4*3*R^-1 mod 7 with R=8 gives (4*3) mod 7 = 5
+        # because 4 == 4*8 mod 7 (R == 1 mod 7).
+        assert montgomery_expected(4, 3, 7, 3) == (4 * 3) % 7
+
+    def test_format_trace_mentions_every_iteration(self):
+        text = format_trace(bp_modmul_traced(4, 3, 7, 3))
+        assert "iter 0" in text and "iter 2" in text and "-> 5" in text
+
+
+class TestExhaustiveSmallWidths:
+    """Full cartesian validation for small n — every (a, b, M)."""
+
+    @pytest.mark.parametrize("width", [3, 4, 5, 6])
+    def test_all_safe_moduli(self, width):
+        for modulus in range(3, safe_modulus_bound(width) + 1, 2):
+            for a in range(modulus):
+                for b in range(modulus):
+                    assert bp_modmul(a, b, modulus, width) == montgomery_expected(
+                        a, b, modulus, width
+                    )
+
+    @pytest.mark.parametrize("width", [3, 4])
+    def test_vanilla_all_moduli_up_to_r(self, width):
+        for modulus in range(3, 1 << width, 2):
+            for a in range(modulus):
+                for b in range(modulus):
+                    assert bp_modmul_vanilla(a, b, modulus, width) == (
+                        montgomery_expected(a, b, modulus, width)
+                    )
+
+
+class TestVariousBitwidths:
+    """Randomized validation at the bitwidths of the paper's Fig 8(a)."""
+
+    @pytest.mark.parametrize(
+        "modulus,width",
+        [
+            (7, 4),            # tiny
+            (97, 8),           # 8-bit
+            (3329, 13),        # Kyber q, 13-bit container
+            (7681, 14),        # Kyber round-1 q
+            (12289, 15),       # Falcon/14-bit q
+            (12289, 16),       # 16-bit container (Table I config)
+            (8380417, 24),     # Dilithium q
+            (2147483647, 32),  # Mersenne 31, 32-bit container
+            ((1 << 61) - 1, 64),  # Mersenne 61, 64-bit container
+        ],
+    )
+    def test_random_operands(self, modulus, width):
+        rng = random.Random(width * 1000 + modulus % 997)
+        for _ in range(300):
+            a = rng.randrange(modulus)
+            b = rng.randrange(modulus)
+            assert bp_modmul(a, b, modulus, width) == montgomery_expected(
+                a, b, modulus, width
+            )
+
+    @settings(max_examples=200)
+    @given(st.integers(min_value=0, max_value=12288), st.integers(min_value=0, max_value=12288))
+    def test_hypothesis_falcon_modulus(self, a, b):
+        assert bp_modmul(a, b, 12289, 15) == montgomery_expected(a, b, 12289, 15)
+
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_hypothesis_random_safe_modulus(self, data):
+        width = data.draw(st.integers(min_value=4, max_value=24))
+        modulus = data.draw(
+            st.integers(min_value=3, max_value=safe_modulus_bound(width)).filter(
+                lambda m: m % 2 == 1
+            )
+        )
+        a = data.draw(st.integers(min_value=0, max_value=modulus - 1))
+        b = data.draw(st.integers(min_value=0, max_value=modulus - 1))
+        assert bp_modmul(a, b, modulus, width) == montgomery_expected(a, b, modulus, width)
+
+
+class TestAlgebraicProperties:
+    M, W = 12289, 15
+
+    @settings(max_examples=60)
+    @given(st.integers(min_value=0, max_value=12288), st.integers(min_value=0, max_value=12288))
+    def test_commutative(self, a, b):
+        assert bp_modmul(a, b, self.M, self.W) == bp_modmul(b, a, self.M, self.W)
+
+    @given(st.integers(min_value=0, max_value=12288))
+    def test_zero_annihilates(self, a):
+        assert bp_modmul(a, 0, self.M, self.W) == 0
+        assert bp_modmul(0, a, self.M, self.W) == 0
+
+    @given(st.integers(min_value=0, max_value=12288))
+    def test_r_squared_scaling_gives_plain_product(self, a):
+        # bp_modmul(a * R mod M, b) == a * b mod M — the twiddle pre-scaling.
+        r = pow(2, self.W, self.M)
+        b = 4321
+        scaled = (a * r) % self.M
+        assert bp_modmul(scaled, b, self.M, self.W) == (a * b) % self.M
+
+    def test_unnormalized_result_within_2m(self):
+        rng = random.Random(9)
+        for _ in range(200):
+            a, b = rng.randrange(self.M), rng.randrange(self.M)
+            raw = bp_modmul(a, b, self.M, self.W, normalize=False)
+            assert raw < 2 * self.M
+            assert raw % self.M == montgomery_expected(a, b, self.M, self.W)
+
+
+class TestObservationBoundary:
+    """The reproduction finding: Observation 1 needs M < 2^(n-1)."""
+
+    def test_safe_bound_value(self):
+        assert safe_modulus_bound(5) == 15
+
+    def test_tight_modulus_rejected_by_default(self):
+        with pytest.raises(ParameterError, match="provably safe bound"):
+            bp_modmul(1, 1, 29, 5)
+
+    def test_tight_modulus_fails_observation1_somewhere(self):
+        # M=29 at width 5 is the first modulus with genuine violations.
+        violations = 0
+        for a in range(29):
+            for b in range(29):
+                try:
+                    got = bp_modmul(a, b, 29, 5, allow_tight=True)
+                except ParameterError:
+                    violations += 1
+                    continue
+                assert got == montgomery_expected(a, b, 29, 5)
+        assert violations > 0
+
+    def test_moderately_tight_moduli_still_work(self):
+        # Empirically the full range below ~0.62*2^n works; 27 @ width 5 passes.
+        for a in range(27):
+            for b in range(27):
+                assert bp_modmul(a, b, 27, 5, allow_tight=True) == (
+                    montgomery_expected(a, b, 27, 5)
+                )
+
+    def test_vanilla_handles_dilithium_natively(self):
+        # q = 8380417 occupies 23 bits at ratio 0.999 — impossible in 23
+        # columns, fine with the 24-column vanilla layout.
+        rng = random.Random(11)
+        for _ in range(100):
+            a, b = rng.randrange(8380417), rng.randrange(8380417)
+            assert bp_modmul_vanilla(a, b, 8380417, 23) == montgomery_expected(
+                a, b, 8380417, 23
+            )
+
+
+class TestValidation:
+    def test_width_too_small(self):
+        with pytest.raises(ParameterError):
+            bp_modmul(1, 1, 3, 2)
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            bp_modmul(1, 1, 8, 5)
+
+    def test_modulus_above_r_rejected(self):
+        with pytest.raises(ParameterError):
+            bp_modmul(1, 1, 33, 5, allow_tight=True)
+
+    def test_operands_must_fit_width(self):
+        with pytest.raises(ParameterError):
+            bp_modmul(1 << 5, 1, 7, 5)
+        with pytest.raises(ParameterError):
+            bp_modmul(1, 1 << 5, 7, 5)
+
+    def test_vanilla_modulus_range(self):
+        with pytest.raises(ParameterError):
+            bp_modmul_vanilla(1, 1, 33, 5)
+
+
+class TestTraceStructure:
+    def test_iteration_count_equals_width(self):
+        r = bp_modmul_traced(11, 9, 13, 6)
+        assert len(r.iterations) == 6
+
+    def test_partial_values_track_montgomery_recurrence(self):
+        # P_i = (P_{i-1} + a_i*B + m_i) / 2 — re-derive from the trace.
+        a, b, m, w = 11, 9, 13, 6
+        r = bp_modmul_traced(a, b, m, w)
+        p = 0
+        for it in r.iterations:
+            p = p + (b if it.a_bit else 0)
+            p = (p + it.m_selected) // 2
+            assert it.partial_value == p
+
+    def test_a_bits_recorded_lsb_first(self):
+        r = bp_modmul_traced(0b0101, 1, 7, 4)
+        assert [it.a_bit for it in r.iterations] == [1, 0, 1, 0]

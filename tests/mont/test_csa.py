@@ -1,0 +1,62 @@
+"""Unit tests for carry-save adder primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.mont.csa import carry_save_add, half_add, resolve_carry
+
+W = 16
+vals = st.integers(min_value=0, max_value=(1 << W) - 1)
+
+
+class TestHalfAdd:
+    @given(vals, vals)
+    def test_identity(self, a, b):
+        c, s = half_add(a, b, W)
+        assert s + 2 * c == a + b
+
+    def test_carry_and_sum_disjoint_from_xor_and(self):
+        c, s = half_add(0b1100, 0b1010, 4)
+        assert c == 0b1000 and s == 0b0110
+
+    def test_width_enforced(self):
+        with pytest.raises(ParameterError):
+            half_add(1 << W, 0, W)
+        with pytest.raises(ParameterError):
+            half_add(-1, 0, W)
+
+
+class TestCarrySaveAdd:
+    @given(vals, st.integers(min_value=0, max_value=(1 << (W - 1)) - 1), vals)
+    def test_accumulator_identity(self, s, c, addend):
+        """P' == P + addend whenever Observation 1's precondition holds
+        and no carry-out escapes the width."""
+        try:
+            new_c, new_s = carry_save_add(s, c, addend, W)
+        except ParameterError:
+            return  # width overflow cases are allowed to raise
+        # When the true sum fits in the representable range the identity
+        # must be exact.
+        if s + 2 * c + addend < (1 << W):
+            assert new_s + 2 * new_c == s + 2 * c + addend
+
+    def test_carry_msb_guard(self):
+        with pytest.raises(ParameterError, match="Observation 1"):
+            carry_save_add(0, 1 << (W - 1), 0, W)
+
+    def test_zero_addend_preserves_value(self):
+        new_c, new_s = carry_save_add(5, 3, 0, W)
+        assert new_s + 2 * new_c == 5 + 2 * 3
+
+    def test_example_from_paper_step(self):
+        # Fig 6, third iteration step 1-3: S=000, C=000, B=011 -> P=3.
+        new_c, new_s = carry_save_add(0b000, 0b000, 0b011, 3)
+        assert new_s == 0b011 and new_c == 0
+
+
+class TestResolveCarry:
+    @given(vals, vals)
+    def test_definition(self, s, c):
+        assert resolve_carry(s, c) == s + 2 * c

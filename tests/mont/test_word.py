@@ -1,0 +1,71 @@
+"""Unit tests for word-level Montgomery arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.mont.word import MontgomeryContext
+
+
+class TestConstruction:
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            MontgomeryContext(16, 8)
+
+    def test_modulus_must_be_below_r(self):
+        with pytest.raises(ParameterError):
+            MontgomeryContext(257, 8)
+
+    def test_m_prime_identity(self):
+        # M * M' == -1 mod R
+        ctx = MontgomeryContext(3329, 16)
+        assert (ctx.modulus * ctx.m_prime) % ctx.r == ctx.r - 1
+
+
+class TestDomainConversion:
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_roundtrip(self, x):
+        ctx = MontgomeryContext(12289, 16)
+        assert ctx.from_mont(ctx.to_mont(x)) == x % 12289
+
+    def test_one_maps_to_r_mod_m(self):
+        ctx = MontgomeryContext(7681, 13)
+        assert ctx.to_mont(1) == (1 << 13) % 7681
+
+
+class TestRedc:
+    @pytest.mark.parametrize("q,r_bits", [(3329, 16), (7681, 13), (8380417, 32)])
+    def test_redc_definition(self, q, r_bits):
+        ctx = MontgomeryContext(q, r_bits)
+        r_inv = pow(2, -r_bits, q)
+        for t in (0, 1, q - 1, q, 12345 % (q << 2), q * ((1 << r_bits) - 1)):
+            assert ctx.redc(t) == (t * r_inv) % q
+
+    def test_range_check(self):
+        ctx = MontgomeryContext(17, 8)
+        with pytest.raises(ParameterError):
+            ctx.redc(-1)
+        with pytest.raises(ParameterError):
+            ctx.redc(17 * 256)
+
+    def test_result_canonical(self):
+        ctx = MontgomeryContext(17, 8)
+        for t in range(0, 17 * 256, 7):
+            assert 0 <= ctx.redc(t) < 17
+
+
+class TestMul:
+    @given(st.integers(min_value=0, max_value=3328), st.integers(min_value=0, max_value=3328))
+    def test_mont_product(self, a, b):
+        ctx = MontgomeryContext(3329, 16)
+        # mont(aR, bR) == abR
+        assert ctx.mul(ctx.to_mont(a), ctx.to_mont(b)) == ctx.to_mont(a * b)
+
+    def test_canonical_inputs_enforced(self):
+        ctx = MontgomeryContext(17, 8)
+        with pytest.raises(ParameterError):
+            ctx.mul(17, 0)
+
+    def test_repr(self):
+        assert "R=2^16" in repr(MontgomeryContext(3329, 16))

@@ -1,0 +1,87 @@
+"""Unit tests for repro.ntt.modmath."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ntt.modmath import BarrettReducer, mod_add, mod_inv, mod_mul, mod_pow, mod_sub
+
+MODULI = st.sampled_from([3, 17, 3329, 7681, 12289, 65537, 8380417])
+
+
+class TestBasicOps:
+    def test_add_wraps(self):
+        assert mod_add(3328, 5, 3329) == 4
+
+    def test_sub_canonical(self):
+        assert mod_sub(0, 1, 17) == 16
+
+    def test_mul(self):
+        assert mod_mul(100, 200, 3329) == (100 * 200) % 3329
+
+    def test_bad_modulus_rejected(self):
+        for fn in (mod_add, mod_sub, mod_mul):
+            with pytest.raises(ParameterError):
+                fn(1, 1, 1)
+
+    @given(st.integers(), st.integers(), MODULI)
+    def test_add_sub_inverse(self, a, b, q):
+        assert mod_sub(mod_add(a, b, q), b, q) == a % q
+
+    @given(st.integers(min_value=0, max_value=10**9), MODULI)
+    def test_results_canonical(self, a, q):
+        assert 0 <= mod_add(a, a, q) < q
+        assert 0 <= mod_sub(0, a, q) < q
+
+
+class TestModPow:
+    def test_fermat(self):
+        for q in (17, 3329, 12289):
+            for a in (2, 3, 5, q - 1):
+                assert mod_pow(a, q - 1, q) == 1
+
+    def test_negative_exponent(self):
+        q = 3329
+        assert mod_pow(17, -1, q) == mod_inv(17, q)
+        assert mod_mul(mod_pow(17, -3, q), mod_pow(17, 3, q), q) == 1
+
+
+class TestModInv:
+    @given(st.integers(min_value=1, max_value=3328))
+    def test_inverse_property(self, a):
+        q = 3329
+        assert mod_mul(a, mod_inv(a, q), q) == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            mod_inv(0, 17)
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ParameterError):
+            mod_inv(6, 9)
+
+
+class TestBarrett:
+    @pytest.mark.parametrize("q", [3, 17, 3329, 12289, 8380417])
+    def test_matches_plain_mod(self, q):
+        r = BarrettReducer(q)
+        for x in range(0, q * q, max(1, (q * q) // 500)):
+            assert r.reduce(x) == x % q
+
+    @given(st.integers(min_value=0, max_value=3328), st.integers(min_value=0, max_value=3328))
+    def test_mul(self, a, b):
+        r = BarrettReducer(3329)
+        assert r.mul(a, b) == (a * b) % 3329
+
+    def test_out_of_range_rejected(self):
+        r = BarrettReducer(17)
+        with pytest.raises(ParameterError):
+            r.reduce(17 * 17)
+        with pytest.raises(ParameterError):
+            r.reduce(-1)
+
+    def test_non_canonical_mul_inputs_rejected(self):
+        r = BarrettReducer(17)
+        with pytest.raises(ParameterError):
+            r.mul(17, 1)

@@ -1,0 +1,94 @@
+"""Unit tests for repro.ntt.params."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams, STANDARD_PARAMS, get_params, list_param_names
+
+
+class TestNTTParamsValidation:
+    def test_rejects_non_power_of_two_order(self):
+        with pytest.raises(ParameterError):
+            NTTParams(n=12, q=13)
+
+    def test_rejects_order_one(self):
+        with pytest.raises(ParameterError):
+            NTTParams(n=1, q=17)
+
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(ParameterError):
+            NTTParams(n=8, q=15)
+
+    def test_rejects_modulus_without_2n_th_root(self):
+        # 3329 - 1 = 2^8 * 13, so 512 does not divide it.
+        with pytest.raises(ParameterError):
+            NTTParams(n=256, q=3329)
+
+    def test_cyclic_weaker_requirement(self):
+        # Cyclic only needs n | q-1: 256 | 3328 holds.
+        p = NTTParams(n=256, q=3329, negacyclic=False)
+        assert pow(p.omega, 256, 3329) == 1
+
+    def test_psi_has_order_2n(self):
+        p = NTTParams(n=8, q=17)
+        assert pow(p.psi, 16, 17) == 1
+        assert pow(p.psi, 8, 17) == 17 - 1  # psi^n == -1 defines negacyclic
+
+    def test_omega_is_psi_squared(self):
+        p = NTTParams(n=256, q=7681)
+        assert p.omega == (p.psi * p.psi) % p.q
+
+
+class TestDerivedProperties:
+    def test_coeff_bits(self):
+        assert NTTParams(n=256, q=7681).coeff_bits == 13
+        assert NTTParams(n=256, q=12289).coeff_bits == 14
+
+    def test_stages(self):
+        assert NTTParams(n=256, q=7681).stages == 8
+        assert NTTParams(n=1024, q=12289).stages == 10
+
+    def test_n_inv(self):
+        p = NTTParams(n=256, q=7681)
+        assert (p.n_inv * 256) % p.q == 1
+
+    def test_psi_inv(self):
+        p = NTTParams(n=8, q=17)
+        assert (p.psi * p.psi_inv) % 17 == 1
+
+    def test_psi_inv_undefined_for_cyclic(self):
+        p = NTTParams(n=8, q=17, negacyclic=False)
+        with pytest.raises(ParameterError):
+            _ = p.psi_inv
+
+    def test_repr_mentions_ring(self):
+        assert "negacyclic" in repr(NTTParams(n=8, q=17))
+
+
+class TestStandardParams:
+    def test_all_entries_valid(self):
+        # Construction already validates; spot-check key invariants.
+        for name, p in STANDARD_PARAMS.items():
+            assert (p.q - 1) % (2 * p.n if p.negacyclic else p.n) == 0, name
+
+    def test_expected_members(self):
+        names = list_param_names()
+        for expected in ("kyber-v1", "dilithium", "falcon512", "table1-14bit", "he-29bit"):
+            assert expected in names
+
+    def test_he_levels_are_1024_point(self):
+        for name in ("he-16bit", "he-21bit", "he-29bit"):
+            p = get_params(name)
+            assert p.n == 1024
+
+    def test_he_bitwidths(self):
+        assert get_params("he-16bit").q.bit_length() == 16
+        assert get_params("he-21bit").q.bit_length() == 21
+        assert get_params("he-29bit").q.bit_length() == 29
+
+    def test_dilithium_modulus(self):
+        assert get_params("dilithium").q == 8380417
+
+    def test_unknown_name_rejected_with_suggestions(self):
+        with pytest.raises(ParameterError, match="known:"):
+            get_params("nope")

@@ -1,0 +1,142 @@
+"""Unit tests for the Polynomial ring type."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams, get_params
+from repro.ntt.polynomial import Polynomial
+
+SMALL = NTTParams(n=8, q=17)
+
+coeff_lists = st.lists(st.integers(min_value=-100, max_value=100), min_size=8, max_size=8)
+
+
+class TestConstruction:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ParameterError):
+            Polynomial([1, 2, 3], SMALL)
+
+    def test_coefficients_reduced(self):
+        p = Polynomial([-1, 17, 18] + [0] * 5, SMALL)
+        assert p.coeffs == [16, 0, 1, 0, 0, 0, 0, 0]
+
+    def test_zero_one_monomial(self):
+        assert Polynomial.zero(SMALL).coeffs == [0] * 8
+        assert Polynomial.one(SMALL).coeffs == [1] + [0] * 7
+        assert Polynomial.monomial(3, SMALL, coeff=5).coeffs == [0, 0, 0, 5, 0, 0, 0, 0]
+
+    def test_monomial_degree_range(self):
+        with pytest.raises(ParameterError):
+            Polynomial.monomial(8, SMALL)
+        with pytest.raises(ParameterError):
+            Polynomial.monomial(-1, SMALL)
+
+    def test_random_deterministic_with_seeded_rng(self):
+        a = Polynomial.random(SMALL, random.Random(42))
+        b = Polynomial.random(SMALL, random.Random(42))
+        assert a == b
+
+    def test_random_small_bounds(self):
+        p = Polynomial.random_small(SMALL, 2, random.Random(1))
+        assert all(c <= 2 or c >= 17 - 2 for c in p.coeffs)
+
+    def test_random_small_negative_bound_rejected(self):
+        with pytest.raises(ParameterError):
+            Polynomial.random_small(SMALL, -1)
+
+
+class TestAlgebra:
+    @given(coeff_lists, coeff_lists)
+    def test_add_sub_roundtrip(self, a, b):
+        pa, pb = Polynomial(a, SMALL), Polynomial(b, SMALL)
+        assert (pa + pb) - pb == pa
+
+    @given(coeff_lists)
+    def test_neg(self, a):
+        pa = Polynomial(a, SMALL)
+        assert pa + (-pa) == Polynomial.zero(SMALL)
+
+    @settings(max_examples=20)
+    @given(coeff_lists, coeff_lists)
+    def test_ntt_mul_matches_schoolbook(self, a, b):
+        pa, pb = Polynomial(a, SMALL), Polynomial(b, SMALL)
+        assert pa * pb == pa.mul_schoolbook(pb)
+
+    def test_mul_identity(self):
+        pa = Polynomial.random(SMALL, random.Random(3))
+        assert pa * Polynomial.one(SMALL) == pa
+
+    def test_scalar_mul_both_sides(self):
+        pa = Polynomial.random(SMALL, random.Random(4))
+        assert (3 * pa).coeffs == (pa * 3).coeffs == [(3 * c) % 17 for c in pa.coeffs]
+
+    @settings(max_examples=20)
+    @given(coeff_lists, coeff_lists, coeff_lists)
+    def test_distributivity(self, a, b, c):
+        pa, pb, pc = (Polynomial(x, SMALL) for x in (a, b, c))
+        assert pa * (pb + pc) == pa * pb + pa * pc
+
+    def test_monomial_shift_negacyclic_wrap(self):
+        # x^(n-1) * x = -1
+        xn1 = Polynomial.monomial(7, SMALL)
+        x = Polynomial.monomial(1, SMALL)
+        assert (xn1 * x).coeffs == [16, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_cyclic_ring_mul(self):
+        params = NTTParams(n=8, q=17, negacyclic=False)
+        a = Polynomial.random(params, random.Random(5))
+        b = Polynomial.random(params, random.Random(6))
+        assert a * b == a.mul_schoolbook(b)
+
+    def test_cross_ring_operations_rejected(self):
+        other = NTTParams(n=8, q=97)
+        with pytest.raises(ParameterError):
+            Polynomial.zero(SMALL) + Polynomial.zero(other)
+        with pytest.raises(ParameterError):
+            Polynomial.zero(SMALL) * Polynomial.zero(other)
+
+    def test_full_size_mul_matches_schoolbook(self):
+        params = get_params("kyber-v1")
+        rng = random.Random(7)
+        a = Polynomial.random(params, rng)
+        b = Polynomial.random(params, rng)
+        assert a * b == a.mul_schoolbook(b)
+
+
+class TestAccessors:
+    def test_len_getitem_iter(self):
+        p = Polynomial(list(range(8)), SMALL)
+        assert len(p) == 8
+        assert p[3] == 3
+        assert list(p) == list(range(8))
+
+    def test_coeffs_returns_copy(self):
+        p = Polynomial(list(range(8)), SMALL)
+        c = p.coeffs
+        c[0] = 99
+        assert p[0] == 0
+
+    def test_centered(self):
+        p = Polynomial([0, 1, 8, 9, 16, 0, 0, 0], SMALL)
+        assert p.centered() == [0, 1, 8, -8, -1, 0, 0, 0]
+
+    def test_hash_consistent_with_eq(self):
+        a = Polynomial([1] * 8, SMALL)
+        b = Polynomial([1] * 8, SMALL)
+        assert a == b and hash(a) == hash(b)
+
+    def test_eq_other_type(self):
+        assert Polynomial.zero(SMALL) != "not a polynomial"
+
+    def test_repr_truncates(self):
+        assert "..." in repr(Polynomial(list(range(8)), SMALL))
+
+    def test_to_ntt_matches_transform(self):
+        from repro.ntt.transform import ntt
+
+        p = Polynomial.random(SMALL, random.Random(8))
+        assert p.to_ntt() == ntt(p.coeffs, SMALL)

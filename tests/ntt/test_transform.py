@@ -1,0 +1,185 @@
+"""Unit tests for the gold-model NTT (repro.ntt.transform)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams, get_params
+from repro.ntt.transform import (
+    intt,
+    intt_cyclic,
+    intt_negacyclic,
+    ntt,
+    ntt_cyclic,
+    ntt_negacyclic,
+    polymul_negacyclic,
+    schoolbook_cyclic,
+    schoolbook_negacyclic,
+)
+from repro.ntt.recursive import naive_dft, recursive_ntt, recursive_ntt_negacyclic
+from repro.utils.bitops import bit_reverse_permutation
+
+SMALL = NTTParams(n=8, q=17)
+KYBER1 = get_params("kyber-v1")
+
+
+def _rand_poly(params, seed=0):
+    rng = random.Random(seed)
+    return [rng.randrange(params.q) for _ in range(params.n)]
+
+
+class TestForwardAgainstDefinition:
+    """The iterative CT loop must equal the transform's definition."""
+
+    def test_bit_reversed_output_matches_naive_dft(self):
+        a = _rand_poly(SMALL, 1)
+        hat = ntt_negacyclic(a, SMALL)
+        ref = naive_dft(a, SMALL)
+        perm = bit_reverse_permutation(SMALL.n)
+        assert [hat[perm[i]] for i in range(SMALL.n)] == ref
+
+    def test_matches_recursive_twist(self):
+        a = _rand_poly(SMALL, 2)
+        hat = ntt_negacyclic(a, SMALL)
+        ref = recursive_ntt_negacyclic(a, SMALL)
+        perm = bit_reverse_permutation(SMALL.n)
+        assert [hat[perm[i]] for i in range(SMALL.n)] == ref
+
+    @pytest.mark.parametrize("name", ["kyber-v1", "table1-14bit", "table1-16bit"])
+    def test_large_params_match_definition_spot(self, name):
+        params = get_params(name)
+        a = _rand_poly(params, 3)
+        hat = ntt_negacyclic(a, params)
+        perm = bit_reverse_permutation(params.n)
+        # Evaluate the polynomial at psi^(2k+1) for a few k and compare.
+        q = params.q
+        for k in (0, 1, params.n // 2, params.n - 1):
+            point = pow(params.psi, 2 * k + 1, q)
+            acc = 0
+            for coeff in reversed(a):
+                acc = (acc * point + coeff) % q
+            assert hat[perm[k]] == acc
+
+    def test_delta_transforms_to_all_ones(self):
+        delta = [1] + [0] * (SMALL.n - 1)
+        assert ntt_negacyclic(delta, SMALL) == [1] * SMALL.n
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "name", ["kyber-v1", "dilithium", "falcon512", "he-16bit", "table1-16bit"]
+    )
+    def test_roundtrip_standard_params(self, name):
+        params = get_params(name)
+        a = _rand_poly(params, 4)
+        assert intt_negacyclic(ntt_negacyclic(a, params), params) == a
+
+    @given(st.lists(st.integers(min_value=0, max_value=16), min_size=8, max_size=8))
+    def test_roundtrip_property_small_ring(self, a):
+        assert intt_negacyclic(ntt_negacyclic(a, SMALL), SMALL) == [x % 17 for x in a]
+
+    def test_dispatcher_roundtrip_cyclic(self):
+        params = NTTParams(n=16, q=97, negacyclic=False)
+        a = _rand_poly(params, 5)
+        assert intt(ntt(a, params), params) == a
+
+    def test_linearity(self):
+        a = _rand_poly(SMALL, 6)
+        b = _rand_poly(SMALL, 7)
+        q = SMALL.q
+        sum_hat = ntt_negacyclic([(x + y) % q for x, y in zip(a, b)], SMALL)
+        parts = [
+            (x + y) % q
+            for x, y in zip(ntt_negacyclic(a, SMALL), ntt_negacyclic(b, SMALL))
+        ]
+        assert sum_hat == parts
+
+
+class TestCyclic:
+    def test_matches_naive(self):
+        params = NTTParams(n=16, q=97, negacyclic=False)
+        a = _rand_poly(params, 8)
+        assert ntt_cyclic(a, params) == naive_dft(a, params)
+
+    def test_matches_recursive(self):
+        params = NTTParams(n=16, q=97, negacyclic=False)
+        a = _rand_poly(params, 9)
+        assert ntt_cyclic(a, params) == recursive_ntt(a, params.omega, params.q)
+
+    def test_roundtrip(self):
+        params = NTTParams(n=64, q=7681, negacyclic=False)
+        a = _rand_poly(params, 10)
+        assert intt_cyclic(ntt_cyclic(a, params), params) == a
+
+
+class TestPolymul:
+    def test_against_schoolbook_small(self):
+        a = _rand_poly(SMALL, 11)
+        b = _rand_poly(SMALL, 12)
+        assert polymul_negacyclic(a, b, SMALL) == schoolbook_negacyclic(a, b, SMALL.q)
+
+    @pytest.mark.parametrize("name", ["kyber-v1", "table1-14bit"])
+    def test_against_schoolbook_full_size(self, name):
+        params = get_params(name)
+        a = _rand_poly(params, 13)
+        b = _rand_poly(params, 14)
+        assert polymul_negacyclic(a, b, params) == schoolbook_negacyclic(a, b, params.q)
+
+    def test_x_times_x_pow_n_minus_1_wraps_negatively(self):
+        # x * x^(n-1) = x^n = -1 in the negacyclic ring.
+        n, q = SMALL.n, SMALL.q
+        x = [0, 1] + [0] * (n - 2)
+        xn1 = [0] * (n - 1) + [1]
+        expected = [(q - 1)] + [0] * (n - 1)
+        assert polymul_negacyclic(x, xn1, SMALL) == expected
+
+    def test_identity_element(self):
+        a = _rand_poly(SMALL, 15)
+        one = [1] + [0] * (SMALL.n - 1)
+        assert polymul_negacyclic(a, one, SMALL) == a
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=16), min_size=8, max_size=8),
+        st.lists(st.integers(min_value=0, max_value=16), min_size=8, max_size=8),
+    )
+    def test_commutativity(self, a, b):
+        assert polymul_negacyclic(a, b, SMALL) == polymul_negacyclic(b, a, SMALL)
+
+
+class TestSchoolbook:
+    def test_cyclic_vs_negacyclic_differ_only_in_wrap_sign(self):
+        q = 17
+        a = [1, 2, 3, 4]
+        b = [5, 6, 7, 8]
+        cyc = schoolbook_cyclic(a, b, q)
+        neg = schoolbook_negacyclic(a, b, q)
+        assert cyc != neg  # wrap terms present and sign-flipped
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            schoolbook_negacyclic([1, 2], [1], 17)
+        with pytest.raises(ParameterError):
+            schoolbook_cyclic([1, 2], [1], 17)
+
+
+class TestInputValidation:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ParameterError):
+            ntt_negacyclic([1, 2, 3], SMALL)
+
+    def test_cyclic_params_rejected_by_negacyclic_entry(self):
+        params = NTTParams(n=8, q=17, negacyclic=False)
+        with pytest.raises(ParameterError):
+            ntt_negacyclic([0] * 8, params)
+        with pytest.raises(ParameterError):
+            intt_negacyclic([0] * 8, params)
+        with pytest.raises(ParameterError):
+            polymul_negacyclic([0] * 8, [0] * 8, params)
+
+    def test_inputs_reduced_mod_q(self):
+        a = [17 + 1] + [0] * 7
+        assert ntt_negacyclic(a, SMALL) == ntt_negacyclic([1] + [0] * 7, SMALL)

@@ -1,0 +1,70 @@
+"""Unit tests for twiddle-factor tables."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams, get_params
+from repro.ntt.twiddles import TwiddleTable
+from repro.utils.bitops import bit_reverse
+
+SMALL = NTTParams(n=8, q=17)
+
+
+class TestForwardTable:
+    def test_entries_are_brv_powers_of_psi(self):
+        t = TwiddleTable(SMALL)
+        for k in range(8):
+            assert t.forward[k] == pow(SMALL.psi, bit_reverse(k, 3), SMALL.q)
+
+    def test_entry_zero_is_one(self):
+        assert TwiddleTable(SMALL).forward[0] == 1
+
+    def test_root_property(self):
+        assert TwiddleTable(SMALL).root == SMALL.psi
+
+
+class TestInverseTable:
+    def test_inverse_is_negated_forward(self):
+        t = TwiddleTable(SMALL)
+        q = SMALL.q
+        assert all((f + i) % q == 0 for f, i in zip(t.forward, t.inverse))
+
+
+class TestMontgomeryScaling:
+    @pytest.mark.parametrize("r_bits", [14, 16, 32])
+    def test_forward_scaled(self, r_bits):
+        t = TwiddleTable(SMALL)
+        r = pow(2, r_bits, SMALL.q)
+        scaled = t.forward_scaled(r_bits)
+        assert all(s == (f * r) % SMALL.q for f, s in zip(t.forward, scaled))
+
+    def test_inverse_scaled(self):
+        t = TwiddleTable(SMALL)
+        r = pow(2, 16, SMALL.q)
+        assert t.inverse_scaled(16) == [(i * r) % SMALL.q for i in t.inverse]
+
+    def test_scaling_undone_by_montgomery_product(self):
+        # (zeta * R) * x * R^-1 == zeta * x — the §IV-D trick.
+        from repro.mont.word import MontgomeryContext
+
+        params = get_params("kyber-v1")
+        t = TwiddleTable(params)
+        ctx = MontgomeryContext(params.q, 16)
+        scaled = t.forward_scaled(16)
+        x = 1234
+        for k in (1, 7, 100):
+            assert ctx.mul(scaled[k], x) == (t.forward[k] * x) % params.q
+
+    def test_bad_r_bits_rejected(self):
+        t = TwiddleTable(SMALL)
+        with pytest.raises(ParameterError):
+            t.forward_scaled(0)
+        with pytest.raises(ParameterError):
+            t.inverse_scaled(-1)
+
+
+class TestValidation:
+    def test_cyclic_params_rejected(self):
+        params = NTTParams(n=8, q=17, negacyclic=False)
+        with pytest.raises(ParameterError):
+            TwiddleTable(params)

@@ -1,0 +1,106 @@
+"""Unit tests for BitMatrix."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError, ParameterError
+from repro.sram.bitmatrix import BitMatrix
+
+
+class TestConstruction:
+    def test_dimensions_positive(self):
+        with pytest.raises(ParameterError):
+            BitMatrix(0, 8)
+        with pytest.raises(ParameterError):
+            BitMatrix(8, -1)
+
+    def test_starts_zeroed(self):
+        m = BitMatrix(4, 8)
+        assert m.snapshot() == [0, 0, 0, 0]
+
+
+class TestRowAccess:
+    def test_write_read_roundtrip(self):
+        m = BitMatrix(4, 8)
+        m.write_row(2, 0b10110001)
+        assert m.read_row(2) == 0b10110001
+
+    def test_row_bounds(self):
+        m = BitMatrix(4, 8)
+        with pytest.raises(LayoutError):
+            m.read_row(4)
+        with pytest.raises(LayoutError):
+            m.write_row(-1, 0)
+
+    def test_value_must_fit(self):
+        m = BitMatrix(4, 8)
+        with pytest.raises(LayoutError):
+            m.write_row(0, 1 << 8)
+        with pytest.raises(LayoutError):
+            m.write_row(0, -1)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_roundtrip_property(self, v):
+        m = BitMatrix(2, 8)
+        m.write_row(1, v)
+        assert m.read_row(1) == v
+
+
+class TestBitAccess:
+    def test_set_get(self):
+        m = BitMatrix(4, 8)
+        m.set_bit(1, 3, 1)
+        assert m.get_bit(1, 3) == 1
+        assert m.read_row(1) == 0b1000
+        m.set_bit(1, 3, 0)
+        assert m.read_row(1) == 0
+
+    def test_bounds(self):
+        m = BitMatrix(4, 8)
+        with pytest.raises(LayoutError):
+            m.get_bit(0, 8)
+        with pytest.raises(LayoutError):
+            m.set_bit(0, -1, 1)
+
+    def test_bit_value_validated(self):
+        m = BitMatrix(4, 8)
+        with pytest.raises(ParameterError):
+            m.set_bit(0, 0, 2)
+
+
+class TestMultiRowActivation:
+    def test_and_semantics(self):
+        m = BitMatrix(4, 8)
+        m.write_row(0, 0b1100)
+        m.write_row(1, 0b1010)
+        m.write_row(2, 0b1001)
+        assert m.multi_row_and([0, 1]) == 0b1000
+        assert m.multi_row_and([0, 1, 2]) == 0b1000 & 0b1001
+
+    def test_nor_semantics(self):
+        m = BitMatrix(4, 4)
+        m.write_row(0, 0b1100)
+        m.write_row(1, 0b1010)
+        assert m.multi_row_nor([0, 1]) == 0b0001
+
+    def test_empty_activation_rejected(self):
+        m = BitMatrix(4, 8)
+        with pytest.raises(ParameterError):
+            m.multi_row_and([])
+        with pytest.raises(ParameterError):
+            m.multi_row_nor([])
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_and_nor_complementary(self, a, b):
+        m = BitMatrix(2, 8)
+        m.write_row(0, a)
+        m.write_row(1, b)
+        # AND and NOR can never both be 1 on the same bitline.
+        assert m.multi_row_and([0, 1]) & m.multi_row_nor([0, 1]) == 0
+
+    def test_clear(self):
+        m = BitMatrix(2, 8)
+        m.write_row(0, 255)
+        m.clear()
+        assert m.snapshot() == [0, 0]

@@ -1,0 +1,69 @@
+"""Cache-hierarchy integration model tests (Fig 4a-c)."""
+
+import pytest
+
+from repro.errors import CapacityError, ParameterError
+from repro.sram.cache import BankGeometry, CacheBank, LLCSlice
+from repro.sram.energy import TECH_45NM
+
+
+class TestBankGeometry:
+    def test_default_is_four_subarrays(self):
+        assert BankGeometry().subarrays_per_bank == 4
+
+    def test_needs_ctrl_plus_data(self):
+        with pytest.raises(ParameterError):
+            BankGeometry(subarrays_per_bank=1)
+
+
+class TestCacheBank:
+    def test_one_subarray_reserved_for_ctrl(self):
+        bank = CacheBank(BankGeometry(subarrays_per_bank=4))
+        assert bank.compute_units == 3
+
+    def test_parallel_lanes(self):
+        bank = CacheBank(BankGeometry(subarrays_per_bank=4), tile_width=16)
+        # 3 data subarrays x 16 tiles each.
+        assert bank.parallel_lanes == 48
+
+    def test_area_includes_ctrl_subarray(self):
+        bank = CacheBank(BankGeometry(subarrays_per_bank=4))
+        per_subarray = TECH_45NM.subarray_area_mm2(256, 256)
+        assert bank.area_mm2() == pytest.approx(4 * per_subarray)
+
+    def test_data_subarrays_are_independent(self):
+        bank = CacheBank()
+        bank.data_subarrays[0].write_word(0, 0, 123)
+        assert bank.data_subarrays[1].read_word(0, 0) == 0
+
+
+class TestLLCSlice:
+    def test_slice_lanes(self):
+        lls = LLCSlice(num_banks=4, tile_width=16)
+        assert lls.parallel_lanes == 4 * 48
+
+    def test_positive_banks_required(self):
+        with pytest.raises(ParameterError):
+            LLCSlice(num_banks=0)
+
+    def test_allocate_minimal_cover(self):
+        lls = LLCSlice(num_banks=2, tile_width=16)
+        subarrays = lls.allocate_lanes(20)  # needs 2 subarrays of 16 lanes
+        assert len(subarrays) == 2
+
+    def test_allocate_single(self):
+        lls = LLCSlice(num_banks=1, tile_width=16)
+        assert len(lls.allocate_lanes(1)) == 1
+
+    def test_allocate_too_many(self):
+        lls = LLCSlice(num_banks=1, tile_width=16)
+        with pytest.raises(CapacityError):
+            lls.allocate_lanes(1000)
+
+    def test_allocate_validates_count(self):
+        with pytest.raises(ParameterError):
+            LLCSlice().allocate_lanes(0)
+
+    def test_slice_area(self):
+        lls = LLCSlice(num_banks=2)
+        assert lls.area_mm2() == pytest.approx(2 * CacheBank().area_mm2())

@@ -1,0 +1,44 @@
+"""CLI smoke tests (the cheap targets; table1 is covered by benches)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("table1", "fig1", "fig6", "fig7", "fig8a", "fig8b",
+                    "verify", "breakdown", "scaling"):
+            args = parser.parse_args([cmd] if cmd != "verify" else [cmd, "--trials", "1"])
+            assert args.command == cmd
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestCheapCommands:
+    def test_fig6(self, capsys):
+        main(["fig6"])
+        out = capsys.readouterr().out
+        assert "A=4, B=3, M=7" in out and "-> 5" in out
+
+    def test_fig7(self, capsys):
+        main(["fig7"])
+        out = capsys.readouterr().out
+        assert "4,288" in out and "RM-NTT" in out
+
+    def test_fig1(self, capsys):
+        main(["fig1"])
+        out = capsys.readouterr().out
+        assert "NTT" in out and "bound by" in out
+
+    def test_verify_small(self, capsys):
+        main(["verify", "--trials", "2"])
+        out = capsys.readouterr().out
+        assert "PASS" in out

@@ -1,0 +1,149 @@
+"""Unit tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.bitops import (
+    bit_length,
+    bit_reverse,
+    bit_reverse_permutation,
+    bits_to_int,
+    int_to_bits,
+    is_power_of_two,
+    mask,
+    popcount,
+    rotate_left,
+    rotate_right,
+)
+
+
+class TestMask:
+    def test_small_masks(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 255
+        assert mask(16) == 65535
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ParameterError):
+            mask(-1)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for v in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100):
+            assert not is_power_of_two(v)
+
+
+class TestBitLength:
+    def test_zero_needs_one_bit(self):
+        assert bit_length(0) == 1
+
+    def test_values(self):
+        assert bit_length(1) == 1
+        assert bit_length(2) == 2
+        assert bit_length(255) == 8
+        assert bit_length(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            bit_length(-3)
+
+
+class TestPopcount:
+    def test_values(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(mask(32)) == 32
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            popcount(-1)
+
+    @given(st.integers(min_value=0, max_value=2**64))
+    def test_matches_bin_count(self, v):
+        assert popcount(v) == bin(v).count("1")
+
+
+class TestBitConversions:
+    def test_known_vector(self):
+        assert int_to_bits(6, 4) == [0, 1, 1, 0]
+        assert bits_to_int([0, 1, 1, 0]) == 6
+
+    def test_width_enforced(self):
+        with pytest.raises(ParameterError):
+            int_to_bits(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            int_to_bits(-1, 4)
+
+    def test_non_binary_digit_rejected(self):
+        with pytest.raises(ParameterError):
+            bits_to_int([0, 2, 0])
+
+    @given(st.integers(min_value=0, max_value=2**40 - 1))
+    def test_roundtrip(self, v):
+        assert bits_to_int(int_to_bits(v, 40)) == v
+
+    def test_lsb_first_ordering(self):
+        assert int_to_bits(1, 3) == [1, 0, 0]
+        assert int_to_bits(4, 3) == [0, 0, 1]
+
+
+class TestBitReverse:
+    def test_known_values(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+        assert bit_reverse(0, 5) == 0
+
+    def test_value_must_fit(self):
+        with pytest.raises(ParameterError):
+            bit_reverse(8, 3)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_involution(self, v):
+        assert bit_reverse(bit_reverse(v, 16), 16) == v
+
+
+class TestBitReversePermutation:
+    def test_length_8(self):
+        assert bit_reverse_permutation(8) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_is_permutation_and_involution(self):
+        for n in (2, 4, 16, 64, 256):
+            perm = bit_reverse_permutation(n)
+            assert sorted(perm) == list(range(n))
+            assert all(perm[perm[i]] == i for i in range(n))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ParameterError):
+            bit_reverse_permutation(12)
+
+
+class TestRotations:
+    def test_basic(self):
+        assert rotate_left(0b0001, 1, 4) == 0b0010
+        assert rotate_left(0b1000, 1, 4) == 0b0001
+        assert rotate_right(0b0001, 1, 4) == 0b1000
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ParameterError):
+            rotate_left(1, 1, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=2**12 - 1),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_left_right_inverse(self, v, s):
+        assert rotate_right(rotate_left(v, s, 12), s, 12) == v
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_full_rotation_is_identity(self, v):
+        assert rotate_left(v, 12, 12) == v
