@@ -1,0 +1,74 @@
+"""Serving-latency benchmark: tail latency vs batching policy.
+
+Replays the same Poisson Kyber trace through the serving runtime under
+three coalescing windows and reports how the max-wait knob trades queue
+delay against batch occupancy (and therefore energy per request).  The
+benchmark times one full discrete-event replay with warm program
+caches — the steady-state cost of the serving loop itself.
+"""
+
+import pytest
+
+from repro.serve import (
+    BatchPolicy,
+    EnginePool,
+    PoolConfig,
+    ServingSimulator,
+    format_serve_report,
+    poisson_trace,
+)
+
+RATE = 400.0
+DURATION_S = 0.5
+WAITS_MS = (0.5, 2.0, 8.0)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return poisson_trace("kyber", RATE, DURATION_S, seed=11)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return EnginePool(PoolConfig(size=2))
+
+
+def test_serve_latency_vs_batching(trace, pool, artifact_writer, benchmark):
+    reports = {}
+    for wait_ms in WAITS_MS:
+        simulator = ServingSimulator(pool, BatchPolicy(max_wait_s=wait_ms * 1e-3))
+        reports[wait_ms] = simulator.replay(trace)
+
+    lines = [
+        f"Kyber polymul, Poisson {RATE:g} req/s x {DURATION_S:g}s, "
+        f"pool=2 engines, model mode",
+        "",
+        f"{'Wait(ms)':>8} {'p50(ms)':>8} {'p95(ms)':>8} {'p99(ms)':>8} "
+        f"{'Occupancy':>10} {'E/req(nJ)':>10}",
+    ]
+    for wait_ms, report in reports.items():
+        overall = report.overall
+        lines.append(
+            f"{wait_ms:>8.1f} {overall.p50_ms:>8.3f} {overall.p95_ms:>8.3f} "
+            f"{overall.p99_ms:>8.3f} {report.mean_occupancy:>10.1%} "
+            f"{overall.energy_per_request_nj:>10.2f}"
+        )
+    lines.append("")
+    lines.append("full report at max-wait 2 ms:")
+    lines.append(format_serve_report(reports[2.0]))
+    artifact_writer("serve_latency", "\n".join(lines))
+
+    # Longer coalescing windows must not reduce batch occupancy, and
+    # occupancy gains must show up as lower per-request energy.
+    occupancies = [reports[w].mean_occupancy for w in WAITS_MS]
+    assert occupancies == sorted(occupancies)
+    energies = [reports[w].overall.energy_per_request_nj for w in WAITS_MS]
+    assert energies == sorted(energies, reverse=True)
+    # Every response in every run carries the gold result length.
+    n = 256
+    assert all(len(r.result) == n for r in reports[2.0].responses)
+
+    # Benchmark one steady-state replay (programs already compiled).
+    simulator = ServingSimulator(pool, BatchPolicy(max_wait_s=2e-3))
+    report = benchmark.pedantic(lambda: simulator.replay(trace), rounds=1, iterations=1)
+    assert report.count == len(trace)

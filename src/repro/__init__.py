@@ -11,7 +11,9 @@ shift.  This library provides:
 - the BP-NTT engine compiling NTTs to SRAM microcode (:mod:`repro.core`),
 - baseline accelerator models (:mod:`repro.baselines`),
 - every table/figure generator of the paper (:mod:`repro.analysis`),
-- PQC workloads exercising the public API (:mod:`repro.crypto`).
+- PQC workloads exercising the public API (:mod:`repro.crypto`),
+- a request-level serving runtime with async batching over pooled
+  engines (:mod:`repro.serve`).
 
 Quick start::
 

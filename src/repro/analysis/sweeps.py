@@ -30,7 +30,7 @@ from repro.core.layout import DataLayout
 from repro.core.scheduler import compile_ntt_from_twiddles
 from repro.errors import CapacityError, ParameterError
 from repro.sram.energy import TECH_45NM, TechnologyModel
-from repro.sram.executor import _instruction_kind
+from repro.sram.executor import profile_program
 from repro.sram.program import Program
 from repro.utils.bitops import is_power_of_two
 
@@ -59,16 +59,8 @@ def program_cost(program: Program, tech: TechnologyModel) -> tuple:
     instruction with the same tables the executor charges, so it matches
     a real run instruction-for-instruction (asserted in the tests).
     """
-    cycles = 0
-    energy = 0.0
-    shifts = 0
-    for instruction in program.instructions:
-        kind = _instruction_kind(instruction)
-        cycles += tech.instruction_cycles(kind)
-        energy += tech.instruction_energy_pj(kind)
-        if kind == "shift":
-            shifts += 1
-    return cycles, energy, shifts
+    stats = profile_program(program, tech)
+    return stats.cycles, stats.energy_pj, stats.shift_count
 
 
 def _synthetic_twiddles(n: int, width: int, rng: random.Random) -> List[int]:

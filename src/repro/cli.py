@@ -10,9 +10,11 @@ Usage::
     python -m repro.cli fig8b             # order sweep
     python -m repro.cli verify            # differential campaigns
     python -m repro.cli breakdown         # butterfly cycle breakdown
+    python -m repro.cli serve             # request-level serving simulation
 
-All output goes to stdout; the heavy targets (table1) run the
-cycle-level simulator and take a couple of seconds.
+All output goes to stdout; the heavy targets (table1, serve with HE
+traffic) run the cycle-level simulator or compile large programs and
+take some seconds.
 """
 
 from __future__ import annotations
@@ -114,6 +116,44 @@ def _cmd_breakdown(_: argparse.Namespace) -> None:
     print(f"latch fusion saves         : {saved:.1%}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.errors import ReproError
+    from repro.serve import (
+        BatchPolicy,
+        EnginePool,
+        PoolConfig,
+        ServingSimulator,
+        bursty_trace,
+        format_serve_report,
+        poisson_trace,
+    )
+
+    make_trace = poisson_trace if args.arrivals == "poisson" else bursty_trace
+    try:
+        trace = make_trace(args.scenario, args.rate, args.duration, seed=args.seed)
+        if not trace:
+            print("trace is empty; raise --rate or --duration")
+            sys.exit(1)
+        pool = EnginePool(PoolConfig(size=args.pool_size, subarrays=args.subarrays))
+        policy = BatchPolicy(
+            max_wait_s=args.max_wait_ms * 1e-3,
+            max_batch=args.max_batch,
+        )
+        simulator = ServingSimulator(pool, policy, mode=args.mode)
+        report = simulator.replay(trace)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        sys.exit(2)
+    print(
+        f"scenario={args.scenario} arrivals={args.arrivals} "
+        f"rate={args.rate:g}/s duration={args.duration:g}s "
+        f"pool={args.pool_size}x{args.subarrays} "
+        f"max-wait={args.max_wait_ms:g}ms mode={args.mode}"
+    )
+    print()
+    print(format_serve_report(report))
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig1": _cmd_fig1,
@@ -124,6 +164,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "breakdown": _cmd_breakdown,
     "scaling": _cmd_scaling,
+    "serve": _cmd_serve,
 }
 
 
@@ -135,6 +176,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     for name in _COMMANDS:
+        if name == "serve":
+            cmd = sub.add_parser(
+                name, help="simulate request-level serving over pooled engines"
+            )
+            cmd.add_argument("--scenario", default="mixed",
+                             help="traffic mix: ntt, kyber, dilithium, he, mixed "
+                                  "(default mixed)")
+            cmd.add_argument("--rate", type=float, default=200.0,
+                             help="mean client calls per second (default 200)")
+            cmd.add_argument("--duration", type=float, default=1.0,
+                             help="trace length in seconds (default 1.0)")
+            cmd.add_argument("--pool-size", type=int, default=2,
+                             help="engines per parameter set (default 2)")
+            cmd.add_argument("--subarrays", type=int, default=1,
+                             help="data subarrays ganged per engine (default 1)")
+            cmd.add_argument("--max-wait-ms", type=float, default=2.0,
+                             help="batch coalescing window in ms (default 2)")
+            cmd.add_argument("--max-batch", type=int, default=None,
+                             help="cap requests per batch (default: capacity)")
+            cmd.add_argument("--arrivals", choices=("poisson", "bursty"),
+                             default="poisson", help="arrival process")
+            cmd.add_argument("--mode", choices=("model", "sram"),
+                             default="model",
+                             help="model: gold results + static pricing (fast); "
+                                  "sram: interpret every bitline op (slow)")
+            cmd.add_argument("--seed", type=int, default=2023)
+            continue
         cmd = sub.add_parser(name, help=f"generate {name}")
         if name == "verify":
             cmd.add_argument("--trials", type=int, default=30,

@@ -114,6 +114,12 @@ class BPNTTEngine:
         return self.layout.batch
 
     @property
+    def twiddle_table(self) -> TwiddleTable:
+        """The engine's precomputed twiddles (shared with callers that
+        need host-side transforms, e.g. the serving pool)."""
+        return self._table
+
+    @property
     def area_mm2(self) -> float:
         """Silicon area of the (physical) subarray."""
         return self.tech.subarray_area_mm2(self.layout.rows, self.physical_cols)
@@ -159,7 +165,13 @@ class BPNTTEngine:
 
     # -- kernels -----------------------------------------------------------
 
-    def _get_program(self, kernel: str) -> Program:
+    def compiled_program(self, kernel: str) -> Program:
+        """The cached instruction stream for ``"ntt"`` or ``"intt"``.
+
+        Compilation happens once per engine; the CTRL/CMD subarray
+        stores one program per kernel regardless of how many batches it
+        serves (the serving pool leans on this for program reuse).
+        """
         if kernel not in self._programs:
             if kernel == "ntt":
                 self._programs[kernel] = compile_ntt(self.layout, self.params, self._table)
@@ -169,12 +181,34 @@ class BPNTTEngine:
                 raise ParameterError(f"unknown kernel {kernel!r}")
         return self._programs[kernel]
 
-    def _run(self, program: Program, kernel: str) -> NTTRunReport:
+    _get_program = compiled_program  # backwards-compatible alias
+
+    def pointwise_program(self, other_hat: Sequence[int]) -> Program:
+        """Cached pointwise-multiply program for one multiplier polynomial.
+
+        The multiplier's (NTT-domain) coefficients are baked into the
+        instruction stream as compile-time constants, so the cache is
+        keyed by the canonical coefficient tuple.  Server-side traffic
+        multiplies many batches by the same fixed polynomial (a public
+        key, a plaintext operand), making recompilation the hot path
+        this cache removes.
+        """
+        q = self.params.q
+        key = ("pointwise", tuple(c % q for c in other_hat))
+        if key not in self._programs:
+            self._programs[key] = compile_pointwise_mul(
+                self.layout, self.params, [c % q for c in other_hat]
+            )
+        return self._programs[key]
+
+    def _execute(self, program: Program) -> ExecutionStats:
         if not self._loaded:
             raise ParameterError("no data loaded; call load() first")
         self.subarray.reset_peripherals()
-        stats = self.executor.run(program)
-        return self._report(kernel, stats)
+        return self.executor.run(program)
+
+    def _run(self, program: Program, kernel: str) -> NTTRunReport:
+        return self._report(kernel, self._execute(program))
 
     def _report(self, kernel: str, stats: ExecutionStats) -> NTTRunReport:
         return NTTRunReport(
@@ -190,16 +224,25 @@ class BPNTTEngine:
 
     def ntt(self) -> NTTRunReport:
         """Run the forward NTT over the loaded batch (in place)."""
-        return self._run(self._get_program("ntt"), "ntt")
+        return self._run(self.compiled_program("ntt"), "ntt")
 
     def intt(self) -> NTTRunReport:
         """Run the inverse NTT over the loaded batch (in place)."""
-        return self._run(self._get_program("intt"), "intt")
+        return self._run(self.compiled_program("intt"), "intt")
 
     def pointwise_multiply(self, other_hat: Sequence[int]) -> NTTRunReport:
         """Multiply the (NTT-domain) batch pointwise by a fixed polynomial."""
-        program = compile_pointwise_mul(self.layout, self.params, list(other_hat))
-        return self._run(program, "pointwise")
+        return self._run(self.pointwise_program(other_hat), "pointwise")
+
+    def polymul_with_hat(self, other_hat: Sequence[int]) -> NTTRunReport:
+        """As :meth:`polymul_with`, with the multiplier already in NTT
+        domain (lets callers transform it once for many engines)."""
+        stats = ExecutionStats.merge(
+            self._execute(self.compiled_program("ntt")),
+            self._execute(self.pointwise_program(other_hat)),
+            self._execute(self.compiled_program("intt")),
+        )
+        return self._report("polymul", stats)
 
     def polymul_with(self, other: Sequence[int]) -> NTTRunReport:
         """Full negacyclic product of every slot with a fixed polynomial.
@@ -209,19 +252,9 @@ class BPNTTEngine:
         """
         from repro.ntt.transform import ntt_negacyclic
 
-        other_hat = ntt_negacyclic(list(other), self.params, self._table)
-        r1 = self.ntt()
-        r2 = self.pointwise_multiply(other_hat)
-        r3 = self.intt()
-        merged = ExecutionStats()
-        merged.cycles = r1.cycles + r2.cycles + r3.cycles
-        merged.energy_pj = (r1.energy_nj + r2.energy_nj + r3.energy_nj) * 1000.0
-        merged.instructions = r1.instructions + r2.instructions + r3.instructions
-        merged.shift_count = r1.shift_count + r2.shift_count + r3.shift_count
-        for r in (r1, r2, r3):
-            for k, v in r.section_cycles.items():
-                merged.section_cycles[k] = merged.section_cycles.get(k, 0) + v
-        return self._report("polymul", merged)
+        return self.polymul_with_hat(
+            ntt_negacyclic(list(other), self.params, self._table)
+        )
 
     # -- verification -------------------------------------------------------
 

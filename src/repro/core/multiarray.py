@@ -125,6 +125,33 @@ class BankedEngine:
         """Inverse NTT on every subarray."""
         return self._merge("intt", [engine.intt() for engine in self.engines])
 
+    def pointwise_multiply(self, other_hat: Sequence[int]) -> BankRunReport:
+        """Pointwise multiply every subarray's batch by one fixed polynomial.
+
+        All subarrays share the same compiled constants, so the program
+        is stored once in CTRL/CMD, exactly like the NTT kernels.
+        """
+        return self._merge(
+            "pointwise",
+            [engine.pointwise_multiply(other_hat) for engine in self.engines],
+        )
+
+    def polymul_with(self, other: Sequence[int]) -> BankRunReport:
+        """Full negacyclic product of every slot with a fixed polynomial.
+
+        The multiplier is transformed once on the host and shared by
+        every subarray (they all compile the same pointwise constants).
+        """
+        from repro.ntt.transform import ntt_negacyclic
+
+        other_hat = ntt_negacyclic(
+            list(other), self.params, self.engines[0].twiddle_table
+        )
+        return self._merge(
+            "polymul",
+            [engine.polymul_with_hat(other_hat) for engine in self.engines],
+        )
+
     def __repr__(self) -> str:
         return (
             f"BankedEngine({self.params!r}, {len(self.engines)} subarrays x "

@@ -1,0 +1,55 @@
+"""repro.serve — a request-level serving runtime over pooled engines.
+
+The core library exposes a *batch*-level accelerator: one
+:class:`~repro.core.engine.BPNTTEngine` per subarray, each invocation
+hand-loaded with a full batch.  Production traffic is the opposite
+shape — millions of independent small requests arriving asynchronously.
+This package supplies the missing layer between the two:
+
+- :mod:`repro.serve.request` — typed request/response records for the
+  kernel- and crypto-level operations.
+- :mod:`repro.serve.batcher` — coalesces compatible requests into
+  engine-capacity batches under a max-wait / max-batch policy.
+- :mod:`repro.serve.pool` — lazily built, cached engines per parameter
+  set with round-robin dispatch and compiled-program reuse.
+- :mod:`repro.serve.simulator` — a discrete-event replay of a request
+  trace, pricing every batch with the cycle-accurate latency model.
+- :mod:`repro.serve.workload` — synthetic traffic generators (Poisson,
+  bursty, mixed crypto scenarios).
+- :mod:`repro.serve.metrics` — per-request latency aggregation and the
+  text report (p50/p95/p99, utilization, energy per request).
+"""
+
+from repro.serve.batcher import BatchPolicy, CoalescingBatcher, PolyBatch
+from repro.serve.metrics import ServeReport, format_serve_report
+from repro.serve.pool import EnginePool, PoolConfig
+from repro.serve.request import (
+    Request,
+    Response,
+    dilithium_ntt_request,
+    gold_result,
+    he_multiply_plain_requests,
+    kyber_polymul_request,
+)
+from repro.serve.simulator import ServingSimulator
+from repro.serve.workload import SCENARIOS, bursty_trace, poisson_trace
+
+__all__ = [
+    "BatchPolicy",
+    "CoalescingBatcher",
+    "EnginePool",
+    "PolyBatch",
+    "PoolConfig",
+    "Request",
+    "Response",
+    "SCENARIOS",
+    "ServeReport",
+    "ServingSimulator",
+    "bursty_trace",
+    "dilithium_ntt_request",
+    "format_serve_report",
+    "gold_result",
+    "he_multiply_plain_requests",
+    "kyber_polymul_request",
+    "poisson_trace",
+]

@@ -1,0 +1,155 @@
+"""Coalescing batcher: independent requests -> engine-capacity batches.
+
+The engine amortizes one instruction stream over its whole batch, so
+serving efficiency is batch occupancy.  The batcher holds an open
+:class:`PolyBatch` per compatibility key (parameter set + op + fixed
+operand) and closes a batch when either
+
+- it reaches capacity (``min(engine batch, policy.max_batch)``), or
+- its oldest request has waited ``policy.max_wait_s``.
+
+Partial batches dispatch with their free slots zero-filled, following
+the paper's convention for under-full subarrays (the engine's
+:meth:`~repro.core.engine.BPNTTEngine.load` pads the remaining slots
+with zero polynomials); the padding count is carried on the batch so
+per-request energy accounting can charge the waste to the live
+requests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import CapacityError, ParameterError
+from repro.serve.request import Request
+
+_batch_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Coalescing knobs.
+
+    Attributes:
+        max_wait_s: longest a request may wait for co-batched company
+            before its batch is forced out.
+        max_batch: cap on requests per batch; ``None`` means the
+            engine's full capacity.
+    """
+
+    max_wait_s: float = 2e-3
+    max_batch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_wait_s < 0:
+            raise ParameterError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ParameterError(f"max_batch must be >= 1, got {self.max_batch}")
+
+    def effective_capacity(self, engine_capacity: int) -> int:
+        if self.max_batch is None:
+            return engine_capacity
+        return min(self.max_batch, engine_capacity)
+
+
+@dataclass
+class PolyBatch:
+    """Requests sharing one engine invocation."""
+
+    key: tuple
+    capacity: int
+    batch_id: int = field(default_factory=lambda: next(_batch_ids))
+    requests: List[Request] = field(default_factory=list)
+
+    def add(self, request: Request) -> None:
+        """Append a compatible request; reject mismatches loudly."""
+        if request.batch_key != self.key:
+            raise ParameterError(
+                f"request {request.request_id} (key {request.batch_key!r}) is "
+                f"incompatible with batch key {self.key!r}; one invocation "
+                "runs one parameter set, op and fixed operand"
+            )
+        if self.full:
+            raise CapacityError(
+                f"batch {self.batch_id} already holds {self.capacity} requests"
+            )
+        self.requests.append(request)
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def full(self) -> bool:
+        return self.size >= self.capacity
+
+    @property
+    def padding(self) -> int:
+        """Zero-filled slots if dispatched now."""
+        return self.capacity - self.size
+
+    @property
+    def oldest_arrival_s(self) -> float:
+        if not self.requests:
+            raise CapacityError(f"batch {self.batch_id} is empty")
+        return min(r.arrival_s for r in self.requests)
+
+    def deadline_s(self, policy: BatchPolicy) -> float:
+        """Latest instant this batch may keep waiting."""
+        return self.oldest_arrival_s + policy.max_wait_s
+
+    def payloads(self) -> List[List[int]]:
+        """Coefficient lists in request order (engine ``load()`` shape)."""
+        return [list(r.payload) for r in self.requests]
+
+
+class CoalescingBatcher:
+    """Groups arriving requests into per-key open batches.
+
+    ``capacity_of`` maps a batch key to the engine capacity for that
+    parameter set (the pool provides it), letting the batcher size
+    batches without owning any engine state.
+    """
+
+    def __init__(self, policy: BatchPolicy, capacity_of: Callable[[tuple], int]):
+        self.policy = policy
+        self.capacity_of = capacity_of
+        self._open: Dict[tuple, PolyBatch] = {}
+
+    def __len__(self) -> int:
+        """Requests currently waiting in open batches."""
+        return sum(b.size for b in self._open.values())
+
+    def add(self, request: Request) -> Optional[PolyBatch]:
+        """Admit one request; returns the batch if this filled it."""
+        key = request.batch_key
+        batch = self._open.get(key)
+        if batch is None:
+            capacity = self.policy.effective_capacity(self.capacity_of(key))
+            batch = self._open[key] = PolyBatch(key=key, capacity=capacity)
+        batch.add(request)
+        if batch.full:
+            return self._open.pop(key)
+        return None
+
+    def next_deadline_s(self) -> float:
+        """Earliest max-wait expiry among open batches (inf when idle)."""
+        if not self._open:
+            return float("inf")
+        return min(b.deadline_s(self.policy) for b in self._open.values())
+
+    def take_expired(self, now_s: float) -> List[PolyBatch]:
+        """Pop every open batch whose max-wait deadline has passed."""
+        ready = [
+            key for key, b in self._open.items()
+            if b.deadline_s(self.policy) <= now_s
+        ]
+        return [self._open.pop(key) for key in ready]
+
+    def drain(self) -> List[PolyBatch]:
+        """Pop all open batches (end of trace)."""
+        batches = list(self._open.values())
+        self._open.clear()
+        return batches

@@ -1,0 +1,160 @@
+"""Aggregation and report formatting for serving runs.
+
+Per-request latencies aggregate into the numbers a serving system is
+judged by: tail percentiles (nearest-rank p50/p95/p99), throughput,
+engine utilization, batch occupancy and energy per request.  The text
+report follows the fixed-width style of
+:func:`repro.analysis.tables.format_table1` so serve output sits next
+to the paper artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ParameterError
+from repro.serve.request import Response
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched batch, as the simulator saw it."""
+
+    batch_id: int
+    key: tuple
+    size: int
+    capacity: int
+    dispatched_s: float
+    start_s: float
+    finish_s: float
+    lane: int
+    energy_nj: float
+
+    @property
+    def occupancy(self) -> float:
+        """Live fraction of the invocation's slots."""
+        return self.size / self.capacity
+
+
+@dataclass(frozen=True)
+class KindStats:
+    """Latency/energy aggregate for one traffic kind."""
+
+    kind: str
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_queue_ms: float
+    mean_service_ms: float
+    energy_per_request_nj: float
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Everything :class:`~repro.serve.simulator.ServingSimulator` measured."""
+
+    responses: List[Response]
+    batches: List[BatchRecord]
+    span_s: float
+    throughput_rps: float
+    utilization: float
+    mean_occupancy: float
+    padding_fraction: float
+    total_energy_nj: float
+    by_kind: List[KindStats]
+
+    @property
+    def count(self) -> int:
+        return len(self.responses)
+
+    @property
+    def overall(self) -> KindStats:
+        """The all-traffic row (always last in ``by_kind``)."""
+        return self.by_kind[-1]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sequence."""
+    if not values:
+        raise ParameterError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ParameterError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+def _kind_stats(kind: str, responses: Sequence[Response]) -> KindStats:
+    latencies_ms = [r.latency_s * 1e3 for r in responses]
+    return KindStats(
+        kind=kind,
+        count=len(responses),
+        mean_ms=sum(latencies_ms) / len(latencies_ms),
+        p50_ms=percentile(latencies_ms, 50),
+        p95_ms=percentile(latencies_ms, 95),
+        p99_ms=percentile(latencies_ms, 99),
+        mean_queue_ms=sum(r.queue_s for r in responses) / len(responses) * 1e3,
+        mean_service_ms=sum(r.service_s for r in responses) / len(responses) * 1e3,
+        energy_per_request_nj=sum(r.energy_nj for r in responses) / len(responses),
+    )
+
+
+def aggregate(responses: List[Response], batches: List[BatchRecord], *,
+              total_lanes: int, busy_s: float) -> ServeReport:
+    """Roll a replay's raw records up into a :class:`ServeReport`."""
+    if not responses:
+        raise ParameterError("cannot aggregate an empty replay")
+    first_arrival = min(r.request.arrival_s for r in responses)
+    last_finish = max(r.finish_s for r in responses)
+    span = max(last_finish - first_arrival, 1e-12)
+    kinds: Dict[str, List[Response]] = {}
+    for r in responses:
+        kinds.setdefault(r.request.kind, []).append(r)
+    by_kind = [_kind_stats(kind, rs) for kind, rs in sorted(kinds.items())]
+    by_kind.append(_kind_stats("all", responses))
+    padded_slots = sum(b.capacity - b.size for b in batches)
+    total_slots = sum(b.capacity for b in batches)
+    return ServeReport(
+        responses=responses,
+        batches=batches,
+        span_s=span,
+        throughput_rps=len(responses) / span,
+        utilization=busy_s / (total_lanes * span),
+        mean_occupancy=sum(b.occupancy for b in batches) / len(batches),
+        padding_fraction=padded_slots / total_slots,
+        total_energy_nj=sum(b.energy_nj for b in batches),
+        by_kind=by_kind,
+    )
+
+
+def format_serve_report(report: ServeReport) -> str:
+    """Render the serving report as a fixed-width text table."""
+    header = (
+        f"{'Kind':<10} {'Count':>6} {'Mean(ms)':>9} {'p50(ms)':>8} "
+        f"{'p95(ms)':>8} {'p99(ms)':>8} {'Queue(ms)':>10} "
+        f"{'Svc(ms)':>8} {'E/req(nJ)':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for k in report.by_kind:
+        lines.append(
+            f"{k.kind:<10} {k.count:>6} {k.mean_ms:>9.3f} {k.p50_ms:>8.3f} "
+            f"{k.p95_ms:>8.3f} {k.p99_ms:>8.3f} {k.mean_queue_ms:>10.3f} "
+            f"{k.mean_service_ms:>8.3f} {k.energy_per_request_nj:>10.2f}"
+        )
+    lines.append("")
+    lines.append(
+        f"served {report.count} requests in {report.span_s * 1e3:.2f} ms "
+        f"({report.throughput_rps:,.0f} req/s)"
+    )
+    lines.append(
+        f"batches: {len(report.batches)}  mean occupancy "
+        f"{report.mean_occupancy:.1%}  padding {report.padding_fraction:.1%}"
+    )
+    lines.append(
+        f"engine utilization {report.utilization:.1%}  total energy "
+        f"{report.total_energy_nj / 1e3:.2f} uJ"
+    )
+    return "\n".join(lines)

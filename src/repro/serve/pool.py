@@ -1,0 +1,231 @@
+"""Engine pool: lazily built, cached accelerators per parameter set.
+
+One pool owns ``size`` *lanes* per parameter set.  A lane is one
+:class:`~repro.core.engine.BPNTTEngine` (or a
+:class:`~repro.core.multiarray.BankedEngine` when ``subarrays > 1``),
+built on first use and cached for the life of the pool so compiled
+programs are reused across every batch it serves — the CTRL/CMD
+subarray's "store the program once" story lifted to the serving layer.
+Batches round-robin across lanes.
+
+Two execution paths serve a batch:
+
+- ``model`` (default): results come from the gold transforms and the
+  invocation is priced by a cached :class:`ServiceProfile` — the
+  cycle/energy totals of the *actual compiled programs*, statically
+  costed with :func:`repro.sram.executor.profile_program`.  Because the
+  executor charges fixed per-class costs, this is cycle-identical to
+  running the subarray interpreter, at a tiny fraction of the host time.
+- ``sram``: the batch is loaded into the lane's subarray and the
+  kernels are interpreted bitline-by-bitline.  Slow, exact, and used by
+  the tests to pin the model path to the hardware path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.engine import BPNTTEngine
+from repro.core.multiarray import BankedEngine
+from repro.errors import ParameterError
+from repro.ntt.params import get_params
+from repro.ntt.transform import ntt_negacyclic
+from repro.serve.batcher import PolyBatch
+from repro.serve.request import gold_result
+from repro.sram.cache import BankGeometry
+from repro.sram.energy import TECH_45NM, TechnologyModel
+from repro.sram.executor import ExecutionStats, profile_program
+
+Engine = Union[BPNTTEngine, BankedEngine]
+
+EXECUTION_MODES = ("model", "sram")
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Shape of the pool.
+
+    Attributes:
+        size: lanes (independent engines) per parameter set.
+        subarrays: data subarrays ganged per lane (1 = a bare
+            :class:`BPNTTEngine`; more = a :class:`BankedEngine`).
+        rows / cols: subarray geometry.
+        tech: technology model used for pricing and area.
+    """
+
+    size: int = 2
+    subarrays: int = 1
+    rows: int = 256
+    cols: int = 256
+    tech: TechnologyModel = TECH_45NM
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ParameterError(f"pool size must be >= 1, got {self.size}")
+        if self.subarrays < 1:
+            raise ParameterError(f"subarrays must be >= 1, got {self.subarrays}")
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Cycle-accurate price of one batch invocation for one batch key."""
+
+    key: tuple
+    cycles: int
+    energy_nj: float
+    latency_s: float
+    capacity: int
+
+    @property
+    def params_name(self) -> str:
+        return self.key[0]
+
+    @property
+    def op(self) -> str:
+        return self.key[1]
+
+
+class EnginePool:
+    """Cached engines per parameter set, with round-robin lane dispatch."""
+
+    def __init__(self, config: PoolConfig = PoolConfig()):
+        self.config = config
+        self._templates: Dict[str, BPNTTEngine] = {}
+        self._lanes: Dict[str, List[Engine]] = {}
+        self._profiles: Dict[tuple, ServiceProfile] = {}
+        self._rr: Dict[str, int] = {}
+
+    # -- construction and caching ----------------------------------------
+
+    def template(self, params_name: str) -> BPNTTEngine:
+        """The pool's reference engine for a parameter set.
+
+        Built lazily and kept for the life of the pool; it owns the
+        compiled-program cache the profiles are priced from.  (In sram
+        mode it also serves as lane 0.)
+        """
+        if params_name not in self._templates:
+            self._templates[params_name] = self._build_single(params_name)
+        return self._templates[params_name]
+
+    def _build_single(self, params_name: str) -> BPNTTEngine:
+        return BPNTTEngine(
+            get_params(params_name),
+            rows=self.config.rows,
+            cols=self.config.cols,
+            tech=self.config.tech,
+        )
+
+    def _build_lane(self, params_name: str) -> Engine:
+        if self.config.subarrays == 1:
+            return self._build_single(params_name)
+        geometry = BankGeometry(
+            subarrays_per_bank=self.config.subarrays + 1,
+            rows=self.config.rows,
+            cols=self.config.cols,
+        )
+        return BankedEngine(
+            get_params(params_name), geometry=geometry, tech=self.config.tech
+        )
+
+    def lanes(self, params_name: str) -> List[Engine]:
+        """All ``size`` engines for a parameter set (built on first use)."""
+        if params_name not in self._lanes:
+            lanes: List[Engine] = []
+            if self.config.subarrays == 1:
+                lanes.append(self.template(params_name))
+                while len(lanes) < self.config.size:
+                    lanes.append(self._build_single(params_name))
+            else:
+                while len(lanes) < self.config.size:
+                    lanes.append(self._build_lane(params_name))
+            self._lanes[params_name] = lanes
+        return self._lanes[params_name]
+
+    @property
+    def lane_count(self) -> int:
+        return self.config.size
+
+    def capacity(self, key: tuple) -> int:
+        """Requests one invocation absorbs (all ganged subarrays)."""
+        return self.template(key[0]).batch * self.config.subarrays
+
+    def next_lane(self, params_name: str) -> int:
+        """Round-robin lane index for the next batch of a parameter set."""
+        index = self._rr.get(params_name, 0)
+        self._rr[params_name] = (index + 1) % self.config.size
+        return index
+
+    # -- pricing -----------------------------------------------------------
+
+    def profile(self, key: tuple) -> ServiceProfile:
+        """The cached cycle/energy price of one invocation for ``key``."""
+        if key not in self._profiles:
+            params_name, op, operand = key
+            engine = self.template(params_name)
+            if op in ("ntt", "intt"):
+                stats = profile_program(engine.compiled_program(op), self.config.tech)
+            elif op == "polymul":
+                other_hat = ntt_negacyclic(
+                    list(operand), engine.params, engine.twiddle_table
+                )
+                stats = ExecutionStats.merge(
+                    profile_program(engine.compiled_program("ntt"), self.config.tech),
+                    profile_program(engine.pointwise_program(other_hat), self.config.tech),
+                    profile_program(engine.compiled_program("intt"), self.config.tech),
+                )
+            else:
+                raise ParameterError(f"unknown op {op!r}")
+            # Ganged subarrays run the same program concurrently: the
+            # latency is one subarray's, the energy multiplies.
+            self._profiles[key] = ServiceProfile(
+                key=key,
+                cycles=stats.cycles,
+                energy_nj=stats.energy_nj * self.config.subarrays,
+                latency_s=stats.latency_s(self.config.tech),
+                capacity=self.capacity(key),
+            )
+        return self._profiles[key]
+
+    # -- serving -----------------------------------------------------------
+
+    def serve(self, batch: PolyBatch, *, mode: str = "model",
+              lane: Optional[int] = None) -> Tuple[List[List[int]], ServiceProfile, int]:
+        """Serve one batch; returns (results, profile, lane index).
+
+        ``results`` is one coefficient list per live request, in batch
+        order.  ``mode="sram"`` interprets the kernels on the lane's
+        subarray; ``mode="model"`` computes results from the gold
+        transforms.  Both charge the same profile.
+        """
+        if mode not in EXECUTION_MODES:
+            raise ParameterError(
+                f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+            )
+        params_name, op, operand = batch.key
+        if lane is None:
+            lane = self.next_lane(params_name)
+        if not 0 <= lane < self.config.size:
+            raise ParameterError(
+                f"lane {lane} out of range for pool size {self.config.size}"
+            )
+        profile = self.profile(batch.key)
+        if batch.size > profile.capacity:
+            raise ParameterError(
+                f"batch of {batch.size} exceeds invocation capacity "
+                f"{profile.capacity} for {params_name!r}"
+            )
+        if mode == "model":
+            results = [gold_result(r) for r in batch.requests]
+        else:
+            engine = self.lanes(params_name)[lane]
+            engine.load(batch.payloads())
+            if op == "ntt":
+                engine.ntt()
+            elif op == "intt":
+                engine.intt()
+            else:
+                engine.polymul_with(list(operand))
+            results = engine.results()[: batch.size]
+        return results, profile, lane

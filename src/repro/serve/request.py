@@ -1,0 +1,193 @@
+"""Typed requests and responses for the serving runtime.
+
+A :class:`Request` is one client operation on one polynomial: a bare
+kernel (``ntt`` / ``intt``) or a full negacyclic product (``polymul``)
+against a fixed second operand.  Crypto-level traffic reduces to these
+three through the adapter constructors:
+
+- :func:`kyber_polymul_request` — a Kyber-style polynomial product on
+  the round-1 ring (q = 7681, the engine-compatible Table I setting;
+  round-3's incomplete NTT lives in :mod:`repro.crypto.kyber` and has
+  no full negacyclic transform for the engine to run).
+- :func:`dilithium_ntt_request` — a forward NTT on the Dilithium ring.
+- :func:`he_multiply_plain_requests` — BFV-lite plaintext
+  multiplication: one product per ciphertext component, i.e. two
+  ``polymul`` requests sharing the plaintext operand.
+
+Requests carry their arrival time and parameter-set name; the batcher
+uses ``(params_name, op, operand)`` as the compatibility key because a
+pointwise program bakes the second operand into its constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams, get_params
+
+#: Operations the runtime understands.
+KERNEL_OPS = ("ntt", "intt", "polymul")
+
+
+def _canonical(coeffs: Sequence[int], params: NTTParams, label: str) -> Tuple[int, ...]:
+    if len(coeffs) != params.n:
+        raise ParameterError(
+            f"{label} needs {params.n} coefficients, got {len(coeffs)}"
+        )
+    return tuple(c % params.q for c in coeffs)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client operation on one polynomial.
+
+    Attributes:
+        request_id: caller-assigned identifier (unique within a trace).
+        op: ``"ntt"``, ``"intt"`` or ``"polymul"``.
+        params_name: standard parameter-set name (see
+            :func:`repro.ntt.params.get_params`).
+        payload: the request's polynomial, canonical coefficients.
+        operand: the fixed second polynomial for ``polymul`` (coefficient
+            domain); ``None`` for the bare kernels.
+        arrival_s: arrival time in seconds from trace start.
+        kind: traffic label for reporting (e.g. ``"kyber"``); defaults
+            to the op name.
+    """
+
+    request_id: int
+    op: str
+    params_name: str
+    payload: Tuple[int, ...]
+    operand: Optional[Tuple[int, ...]] = None
+    arrival_s: float = 0.0
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in KERNEL_OPS:
+            raise ParameterError(
+                f"unknown op {self.op!r}; expected one of {KERNEL_OPS}"
+            )
+        params = get_params(self.params_name)
+        object.__setattr__(self, "payload", _canonical(self.payload, params, "payload"))
+        if self.op == "polymul":
+            if self.operand is None:
+                raise ParameterError("polymul requests need a second operand")
+            object.__setattr__(
+                self, "operand", _canonical(self.operand, params, "operand")
+            )
+        elif self.operand is not None:
+            raise ParameterError(f"{self.op} requests take no second operand")
+        if not self.kind:
+            object.__setattr__(self, "kind", self.op)
+
+    @property
+    def params(self) -> NTTParams:
+        return get_params(self.params_name)
+
+    @property
+    def batch_key(self) -> tuple:
+        """Requests with equal keys may share one engine invocation."""
+        return (self.params_name, self.op, self.operand)
+
+
+@dataclass(frozen=True)
+class Response:
+    """The served result of one request, with its timing breakdown."""
+
+    request: Request
+    result: Tuple[int, ...]
+    start_s: float
+    finish_s: float
+    energy_nj: float
+    engine_index: int
+    batch_size: int
+    batch_padding: int
+
+    @property
+    def queue_s(self) -> float:
+        """Time spent waiting for coalescing plus a free engine."""
+        return self.start_s - self.request.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        """Kernel time of the batch this request rode in."""
+        return self.finish_s - self.start_s
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-completion latency."""
+        return self.finish_s - self.request.arrival_s
+
+
+def gold_result(request: Request) -> List[int]:
+    """The reference (gold-model) result for a request.
+
+    This is what the engine must produce; the simulator's model mode
+    serves it directly, and the tests hold the SRAM path to it.
+    """
+    from repro.ntt.transform import intt_negacyclic, ntt_negacyclic, polymul_negacyclic
+
+    params = request.params
+    payload = list(request.payload)
+    if request.op == "ntt":
+        return ntt_negacyclic(payload, params)
+    if request.op == "intt":
+        return intt_negacyclic(payload, params)
+    return polymul_negacyclic(payload, list(request.operand), params)
+
+
+# -- crypto-level adapters --------------------------------------------------
+
+def kyber_polymul_request(a: Sequence[int], b: Sequence[int], *,
+                          request_id: int, arrival_s: float = 0.0) -> Request:
+    """A Kyber polynomial product (round-1 ring, q = 7681)."""
+    return Request(
+        request_id=request_id,
+        op="polymul",
+        params_name="kyber-v1",
+        payload=tuple(a),
+        operand=tuple(b),
+        arrival_s=arrival_s,
+        kind="kyber",
+    )
+
+
+def dilithium_ntt_request(poly: Sequence[int], *, request_id: int,
+                          arrival_s: float = 0.0) -> Request:
+    """A forward NTT on the CRYSTALS-Dilithium ring (q = 8380417)."""
+    return Request(
+        request_id=request_id,
+        op="ntt",
+        params_name="dilithium",
+        payload=tuple(poly),
+        arrival_s=arrival_s,
+        kind="dilithium",
+    )
+
+
+def he_multiply_plain_requests(u: Sequence[int], v: Sequence[int],
+                               plaintext: Sequence[int], *, request_id: int,
+                               arrival_s: float = 0.0,
+                               params_name: str = "he-16bit") -> List[Request]:
+    """BFV-lite ciphertext-times-plaintext: one product per component.
+
+    Both components multiply by the *same* plaintext polynomial, so the
+    two requests share a batch key and coalesce into one invocation
+    whenever they arrive together.  They take ids ``request_id`` and
+    ``request_id + 1``.
+    """
+    operand = tuple(plaintext)
+    return [
+        Request(
+            request_id=request_id + index,
+            op="polymul",
+            params_name=params_name,
+            payload=tuple(component),
+            operand=operand,
+            arrival_s=arrival_s,
+            kind="he",
+        )
+        for index, component in enumerate((u, v))
+    ]

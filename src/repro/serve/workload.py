@@ -1,0 +1,194 @@
+"""Synthetic traffic: arrival processes and crypto scenario mixes.
+
+Arrival processes:
+
+- :func:`poisson_trace` — exponential inter-arrivals at a fixed rate,
+  the classic open-loop serving assumption.
+- :func:`bursty_trace` — an on/off modulated Poisson process: within
+  each period a "burst" window arrives at ``burst x`` the base rate and
+  the remainder is thinned so the *mean* rate matches the requested
+  one.  Tails under bursts are what a batching policy is for.
+
+Scenario mixes (weights sum to 1):
+
+- ``ntt``        — bare Table I forward NTTs (the paper's kernel).
+- ``kyber``      — Kyber polynomial products (round-1 ring).
+- ``dilithium``  — Dilithium forward NTTs (24-bit containers).
+- ``he``         — BFV-lite plaintext products (1024-point, both
+  ciphertext components per logical client call).
+- ``mixed``      — 45% Kyber, 35% Dilithium, 20% HE: a PQC-dominated
+  front door with an HE aggregation tenant.
+
+``polymul`` operands draw from a small per-scenario pool of fixed
+polynomials (public keys / plaintext operands are long-lived in real
+deployments), which is what lets the batcher coalesce products and the
+engines reuse compiled pointwise programs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParameterError
+from repro.ntt.params import get_params
+from repro.serve.request import Request
+
+
+@dataclass(frozen=True)
+class MixComponent:
+    """One traffic class inside a scenario."""
+
+    kind: str          # report label: "kyber", "dilithium", "he", "ntt"
+    op: str            # kernel op the class reduces to
+    params_name: str
+    weight: float
+    operand_pool: int = 0   # fixed polymul operands to rotate through
+    requests_per_call: int = 1  # e.g. 2 for HE (two ciphertext components)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named traffic mix."""
+
+    name: str
+    components: Tuple[MixComponent, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(c.weight for c in self.components)
+        if abs(total - 1.0) > 1e-9:
+            raise ParameterError(
+                f"scenario {self.name!r} weights sum to {total}, expected 1"
+            )
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "ntt": Scenario("ntt", (
+        MixComponent("ntt", "ntt", "table1-14bit", 1.0),
+    )),
+    "kyber": Scenario("kyber", (
+        MixComponent("kyber", "polymul", "kyber-v1", 1.0, operand_pool=2),
+    )),
+    "dilithium": Scenario("dilithium", (
+        MixComponent("dilithium", "ntt", "dilithium", 1.0),
+    )),
+    "he": Scenario("he", (
+        MixComponent("he", "polymul", "he-16bit", 1.0, operand_pool=1,
+                     requests_per_call=2),
+    )),
+    "mixed": Scenario("mixed", (
+        MixComponent("kyber", "polymul", "kyber-v1", 0.45, operand_pool=2),
+        MixComponent("dilithium", "ntt", "dilithium", 0.35),
+        MixComponent("he", "polymul", "he-16bit", 0.20, operand_pool=1,
+                     requests_per_call=2),
+    )),
+}
+
+
+def _random_poly(n: int, q: int, rng: random.Random) -> Tuple[int, ...]:
+    return tuple(rng.randrange(q) for _ in range(n))
+
+
+def _operand_pools(scenario: Scenario, rng: random.Random) -> Dict[str, List[Tuple[int, ...]]]:
+    pools: Dict[str, List[Tuple[int, ...]]] = {}
+    for c in scenario.components:
+        if c.op == "polymul":
+            params = get_params(c.params_name)
+            pools[c.kind] = [
+                _random_poly(params.n, params.q, rng)
+                for _ in range(max(1, c.operand_pool))
+            ]
+    return pools
+
+
+def _materialize(scenario: Scenario, arrivals: List[float],
+                 rng: random.Random) -> List[Request]:
+    """Turn arrival instants into concrete requests for a scenario."""
+    pools = _operand_pools(scenario, rng)
+    components = list(scenario.components)
+    weights = [c.weight for c in components]
+    requests: List[Request] = []
+    next_id = 0
+    for arrival in arrivals:
+        c = rng.choices(components, weights=weights)[0]
+        params = get_params(c.params_name)
+        operand_pool = pools.get(c.kind)
+        for _ in range(c.requests_per_call):
+            operand: Optional[Tuple[int, ...]] = None
+            if c.op == "polymul":
+                operand = operand_pool[rng.randrange(len(operand_pool))]
+            requests.append(
+                Request(
+                    request_id=next_id,
+                    op=c.op,
+                    params_name=c.params_name,
+                    payload=_random_poly(params.n, params.q, rng),
+                    operand=operand,
+                    arrival_s=arrival,
+                    kind=c.kind,
+                )
+            )
+            next_id += 1
+    return requests
+
+
+def _check_rate_duration(rate: float, duration_s: float) -> None:
+    if rate <= 0:
+        raise ParameterError(f"rate must be positive, got {rate}")
+    if duration_s <= 0:
+        raise ParameterError(f"duration must be positive, got {duration_s}")
+
+
+def poisson_trace(scenario_name: str, rate: float, duration_s: float, *,
+                  seed: int = 2023) -> List[Request]:
+    """Poisson arrivals at ``rate`` calls/s for ``duration_s`` seconds."""
+    _check_rate_duration(rate, duration_s)
+    scenario = _get_scenario(scenario_name)
+    rng = random.Random(seed)
+    arrivals: List[float] = []
+    t = rng.expovariate(rate)
+    while t < duration_s:
+        arrivals.append(t)
+        t += rng.expovariate(rate)
+    return _materialize(scenario, arrivals, rng)
+
+
+def bursty_trace(scenario_name: str, rate: float, duration_s: float, *,
+                 burst: float = 2.5, duty: float = 0.3, period_s: float = 0.05,
+                 seed: int = 2023) -> List[Request]:
+    """On/off modulated Poisson arrivals with mean rate ``rate``.
+
+    The first ``duty`` fraction of every ``period_s`` window runs at
+    ``burst * rate``; the remainder is thinned so the overall mean stays
+    at ``rate`` (requires ``burst <= 1/duty``).
+    """
+    _check_rate_duration(rate, duration_s)
+    if not 0 < duty < 1:
+        raise ParameterError(f"duty must be in (0, 1), got {duty}")
+    if not 1 <= burst <= 1 / duty:
+        raise ParameterError(
+            f"burst must be in [1, 1/duty={1 / duty:.2f}], got {burst}"
+        )
+    scenario = _get_scenario(scenario_name)
+    rng = random.Random(seed)
+    off_rate = rate * (1 - burst * duty) / (1 - duty)
+    peak = burst * rate
+    arrivals: List[float] = []
+    # Thinning: draw at the peak rate, accept with lambda(t)/peak.
+    t = rng.expovariate(peak)
+    while t < duration_s:
+        in_burst = (t % period_s) < duty * period_s
+        lam = peak if in_burst else off_rate
+        if rng.random() < lam / peak:
+            arrivals.append(t)
+        t += rng.expovariate(peak)
+    return _materialize(scenario, arrivals, rng)
+
+
+def _get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ParameterError(f"unknown scenario {name!r}; known: {known}") from None

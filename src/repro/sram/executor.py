@@ -63,7 +63,7 @@ class ExecutionStats:
         self.instructions += 1
         self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
 
-    def merge(self, other: "ExecutionStats") -> None:
+    def accumulate(self, other: "ExecutionStats") -> None:
         """Fold another stats object into this one."""
         self.cycles += other.cycles
         self.energy_pj += other.energy_pj
@@ -73,6 +73,14 @@ class ExecutionStats:
             self.op_counts[k] = self.op_counts.get(k, 0) + v
         for k, v in other.section_cycles.items():
             self.section_cycles[k] = self.section_cycles.get(k, 0) + v
+
+    @classmethod
+    def merge(cls, *stats: "ExecutionStats") -> "ExecutionStats":
+        """A new stats object combining several runs (e.g. NTT->mul->INTT)."""
+        merged = cls()
+        for s in stats:
+            merged.accumulate(s)
+        return merged
 
     @property
     def energy_nj(self) -> float:
@@ -126,15 +134,8 @@ class Executor:
             kind = _instruction_kind(instruction)
             cursor += self.tech.instruction_cycles(kind)
             cycle_at.append(cursor)
-        for label, start, end in program.sections:
-            if end > len(cycle_at):
-                raise ExecutionError(f"section {label!r} exceeds program length")
-            start_cycles = cycle_at[start - 1] if start else 0
-            end_cycles = cycle_at[end - 1] if end else 0
-            run_stats.section_cycles[label] = run_stats.section_cycles.get(
-                label, 0
-            ) + (end_cycles - start_cycles)
-        self.stats.merge(run_stats)
+        _attribute_sections(program, cycle_at, run_stats.section_cycles)
+        self.stats.accumulate(run_stats)
         assert self.stats.cycles >= before
         return run_stats
 
@@ -247,6 +248,46 @@ class Executor:
 
         else:
             raise ExecutionError(f"unknown instruction {instruction!r}")
+
+
+def profile_program(program: Program, tech: TechnologyModel = TECH_45NM) -> ExecutionStats:
+    """Cost a program *without* executing it.
+
+    Cycles and energy are charged per instruction class from fixed
+    tables, so they are a pure function of the instruction mix — the
+    stats returned here are identical to what :meth:`Executor.run` would
+    report for the same program on any data (asserted in the tests).
+    The serving simulator uses this to price a kernel invocation once
+    per compiled program instead of interpreting millions of bitline
+    operations per batch.
+    """
+    stats = ExecutionStats()
+    cycle_at = []
+    for instruction in program.instructions:
+        kind = _instruction_kind(instruction)
+        stats.charge(kind, tech.instruction_cycles(kind), tech.instruction_energy_pj(kind))
+        if isinstance(instruction, ShiftRow):
+            stats.shift_count += 1
+        cycle_at.append(stats.cycles)
+    _attribute_sections(program, cycle_at, stats.section_cycles)
+    return stats
+
+
+def _attribute_sections(program: Program, cycle_at, section_cycles: Dict[str, int]) -> None:
+    """Fold each section's cycle span into ``section_cycles`` in place.
+
+    ``cycle_at[i]`` is the cumulative cycle count after instruction
+    ``i`` — the one attribution rule shared by execution and static
+    profiling, which is what keeps the two paths cycle-identical.
+    """
+    for label, start, end in program.sections:
+        if end > len(cycle_at):
+            raise ExecutionError(f"section {label!r} exceeds program length")
+        start_cycles = cycle_at[start - 1] if start else 0
+        end_cycles = cycle_at[end - 1] if end else 0
+        section_cycles[label] = section_cycles.get(label, 0) + (
+            end_cycles - start_cycles
+        )
 
 
 def _lsb_columns(sub: SRAMSubarray) -> int:

@@ -1,0 +1,49 @@
+"""Shared fixtures: a tiny ring so SRAM-mode serving tests stay fast.
+
+The standard parameter sets compile six-figure instruction streams; a
+16-point ring over q = 97 compiles in milliseconds and exercises every
+code path (the engine is order-agnostic).  The fixture registers it
+under a reserved name for the duration of a test.
+"""
+
+import pytest
+
+from repro.ntt.params import STANDARD_PARAMS, NTTParams
+from repro.serve import EnginePool, PoolConfig
+from repro.serve.request import Request
+
+TINY_NAME = "tiny-serve-test"
+TINY_N = 16
+TINY_Q = 97
+
+
+@pytest.fixture
+def tiny_name():
+    STANDARD_PARAMS[TINY_NAME] = NTTParams(n=TINY_N, q=TINY_Q, name="tiny serve ring")
+    yield TINY_NAME
+    STANDARD_PARAMS.pop(TINY_NAME, None)
+
+
+@pytest.fixture
+def tiny_pool(tiny_name):
+    # 32x32 subarray: 4 tiles of 8 columns -> batch 4, no spill.
+    return EnginePool(PoolConfig(size=2, rows=32, cols=32))
+
+
+@pytest.fixture
+def tiny_request(tiny_name):
+    """Factory for requests on the tiny ring."""
+
+    def make(request_id, *, op="ntt", arrival_s=0.0, operand=None, payload=None):
+        if payload is None:
+            payload = [(request_id * 7 + i) % TINY_Q for i in range(TINY_N)]
+        return Request(
+            request_id=request_id,
+            op=op,
+            params_name=TINY_NAME,
+            payload=tuple(payload),
+            operand=None if operand is None else tuple(operand),
+            arrival_s=arrival_s,
+        )
+
+    return make

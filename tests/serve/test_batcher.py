@@ -1,0 +1,115 @@
+"""Coalescing, padding, rejection, and max-wait expiry."""
+
+import pytest
+
+from repro.errors import CapacityError, ParameterError
+from repro.serve.batcher import BatchPolicy, CoalescingBatcher, PolyBatch
+
+TINY_N = 16
+
+
+def capacity_of(_key):
+    return 3
+
+
+@pytest.fixture
+def batcher():
+    return CoalescingBatcher(BatchPolicy(max_wait_s=1e-3), capacity_of)
+
+
+class TestPolicy:
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ParameterError):
+            BatchPolicy(max_wait_s=-1.0)
+
+    def test_zero_max_batch_rejected(self):
+        with pytest.raises(ParameterError):
+            BatchPolicy(max_batch=0)
+
+    def test_effective_capacity(self):
+        assert BatchPolicy().effective_capacity(9) == 9
+        assert BatchPolicy(max_batch=4).effective_capacity(9) == 4
+        assert BatchPolicy(max_batch=40).effective_capacity(9) == 9
+
+
+class TestPolyBatch:
+    def test_mixed_params_rejected(self, tiny_request):
+        batch = PolyBatch(key=tiny_request(0).batch_key, capacity=3)
+        batch.add(tiny_request(0))
+        with pytest.raises(ParameterError, match="incompatible"):
+            batch.add(tiny_request(1, op="intt"))
+
+    def test_mixed_operands_rejected(self, tiny_request):
+        a = tiny_request(0, op="polymul", operand=[1] * TINY_N)
+        batch = PolyBatch(key=a.batch_key, capacity=3)
+        batch.add(a)
+        with pytest.raises(ParameterError, match="incompatible"):
+            batch.add(tiny_request(1, op="polymul", operand=[2] * TINY_N))
+
+    def test_overfill_rejected(self, tiny_request):
+        batch = PolyBatch(key=tiny_request(0).batch_key, capacity=1)
+        batch.add(tiny_request(0))
+        with pytest.raises(CapacityError):
+            batch.add(tiny_request(1))
+
+    def test_padding_counts_free_slots(self, tiny_request):
+        batch = PolyBatch(key=tiny_request(0).batch_key, capacity=3)
+        batch.add(tiny_request(0))
+        assert (batch.size, batch.padding, batch.full) == (1, 2, False)
+
+    def test_empty_batch_has_no_deadline(self, tiny_request):
+        batch = PolyBatch(key=tiny_request(0).batch_key, capacity=3)
+        with pytest.raises(CapacityError):
+            batch.oldest_arrival_s
+
+    def test_payloads_in_request_order(self, tiny_request):
+        batch = PolyBatch(key=tiny_request(0).batch_key, capacity=3)
+        r0, r1 = tiny_request(0), tiny_request(1)
+        batch.add(r0)
+        batch.add(r1)
+        assert batch.payloads() == [list(r0.payload), list(r1.payload)]
+
+
+class TestCoalescing:
+    def test_full_batch_closes_immediately(self, batcher, tiny_request):
+        assert batcher.add(tiny_request(0)) is None
+        assert batcher.add(tiny_request(1)) is None
+        full = batcher.add(tiny_request(2))
+        assert full is not None and full.size == 3 and full.padding == 0
+        assert len(batcher) == 0
+
+    def test_incompatible_requests_open_separate_batches(self, batcher, tiny_request):
+        batcher.add(tiny_request(0))
+        batcher.add(tiny_request(1, op="intt"))
+        assert len(batcher) == 2
+        # Neither batch filled: two distinct keys, one request each.
+        assert batcher.take_expired(float("inf")) and len(batcher) == 0
+
+    def test_max_wait_expiry(self, batcher, tiny_request):
+        batcher.add(tiny_request(0, arrival_s=0.0))
+        batcher.add(tiny_request(1, arrival_s=0.0004))
+        assert batcher.next_deadline_s() == pytest.approx(1e-3)
+        assert batcher.take_expired(0.0009) == []
+        expired = batcher.take_expired(1e-3)
+        assert len(expired) == 1 and expired[0].size == 2 and expired[0].padding == 1
+        assert batcher.next_deadline_s() == float("inf")
+
+    def test_deadline_tracks_oldest_request(self, batcher, tiny_request):
+        batcher.add(tiny_request(0, arrival_s=0.5))
+        batcher.add(tiny_request(1, arrival_s=0.2))  # late-added but older
+        assert batcher.next_deadline_s() == pytest.approx(0.201)
+
+    def test_drain_pops_everything(self, batcher, tiny_request):
+        batcher.add(tiny_request(0))
+        batcher.add(tiny_request(1, op="intt"))
+        drained = batcher.drain()
+        assert sorted(b.size for b in drained) == [1, 1]
+        assert len(batcher) == 0 and batcher.drain() == []
+
+    def test_max_batch_policy_caps_capacity(self, tiny_request):
+        batcher = CoalescingBatcher(
+            BatchPolicy(max_wait_s=1e-3, max_batch=2), capacity_of
+        )
+        assert batcher.add(tiny_request(0)) is None
+        full = batcher.add(tiny_request(1))
+        assert full is not None and full.capacity == 2

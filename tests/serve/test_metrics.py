@@ -1,0 +1,79 @@
+"""Percentiles, aggregation invariants, and report formatting."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serve import BatchPolicy, ServingSimulator, format_serve_report
+from repro.serve.metrics import aggregate, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 11))  # 1..10
+        assert percentile(values, 50) == 5
+        assert percentile(values, 95) == 10
+        assert percentile(values, 99) == 10
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 10
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_single_element(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            percentile([], 50)
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ParameterError):
+            percentile([1.0], 101)
+
+
+class TestAggregate:
+    @pytest.fixture
+    def report(self, tiny_pool, tiny_request):
+        simulator = ServingSimulator(tiny_pool, BatchPolicy(max_wait_s=1e-3))
+        trace = (
+            [tiny_request(i, arrival_s=i * 2e-4) for i in range(6)]
+            + [tiny_request(10 + i, op="intt", arrival_s=i * 2e-4) for i in range(3)]
+        )
+        return simulator.replay(trace)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            aggregate([], [], total_lanes=1, busy_s=0.0)
+
+    def test_counts_and_span(self, report):
+        assert report.count == 9
+        assert report.throughput_rps == pytest.approx(9 / report.span_s)
+        assert 0 < report.utilization <= 1
+        assert 0 < report.mean_occupancy <= 1
+
+    def test_by_kind_rows(self, report):
+        kinds = [k.kind for k in report.by_kind]
+        assert kinds == ["intt", "ntt", "all"]
+        assert report.overall.kind == "all"
+        assert sum(k.count for k in report.by_kind[:-1]) == report.count
+
+    def test_padding_fraction(self, report):
+        live = sum(b.size for b in report.batches)
+        slots = sum(b.capacity for b in report.batches)
+        assert report.padding_fraction == pytest.approx(1 - live / slots)
+
+    def test_energy_conserved(self, report):
+        per_request = sum(r.energy_nj for r in report.responses)
+        assert per_request == pytest.approx(report.total_energy_nj)
+
+    def test_percentiles_ordered(self, report):
+        overall = report.overall
+        assert overall.p50_ms <= overall.p95_ms <= overall.p99_ms
+
+    def test_format(self, report):
+        text = format_serve_report(report)
+        assert "p50(ms)" in text and "p99(ms)" in text
+        assert "engine utilization" in text
+        assert "mean occupancy" in text
+        for kind in ("intt", "ntt", "all"):
+            assert any(line.startswith(kind) for line in text.splitlines())

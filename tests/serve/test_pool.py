@@ -1,0 +1,141 @@
+"""Engine pool: lazy caching, pricing, and model/SRAM equivalence."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serve import EnginePool, PoolConfig
+from repro.serve.batcher import PolyBatch
+from repro.serve.request import gold_result
+from repro.sram.executor import profile_program
+
+TINY_N = 16
+
+
+def make_batch(tiny_request, ids, **kwargs):
+    requests = [tiny_request(i, **kwargs) for i in ids]
+    batch = PolyBatch(key=requests[0].batch_key, capacity=4)
+    for r in requests:
+        batch.add(r)
+    return batch
+
+
+class TestConstruction:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ParameterError):
+            PoolConfig(size=0)
+        with pytest.raises(ParameterError):
+            PoolConfig(subarrays=0)
+
+    def test_lanes_lazy_and_cached(self, tiny_pool, tiny_name):
+        assert not tiny_pool._lanes
+        lanes = tiny_pool.lanes(tiny_name)
+        assert len(lanes) == 2
+        assert tiny_pool.lanes(tiny_name) is lanes
+        assert lanes[0] is not lanes[1]
+
+    def test_template_is_lane_zero(self, tiny_pool, tiny_name):
+        assert tiny_pool.template(tiny_name) is tiny_pool.lanes(tiny_name)[0]
+
+    def test_capacity(self, tiny_pool, tiny_request):
+        assert tiny_pool.capacity(tiny_request(0).batch_key) == 4
+
+    def test_round_robin_lanes(self, tiny_pool, tiny_name):
+        assert [tiny_pool.next_lane(tiny_name) for _ in range(4)] == [0, 1, 0, 1]
+
+
+class TestProfiles:
+    def test_profile_cached(self, tiny_pool, tiny_request):
+        key = tiny_request(0).batch_key
+        assert tiny_pool.profile(key) is tiny_pool.profile(key)
+
+    def test_profile_matches_executed_run(self, tiny_pool, tiny_request):
+        """Static pricing is cycle- and energy-identical to execution."""
+        key = tiny_request(0).batch_key
+        profile = tiny_pool.profile(key)
+        engine = tiny_pool.template(key[0])
+        engine.load([list(tiny_request(0).payload)])
+        stats = engine._execute(engine.compiled_program("ntt"))
+        assert profile.cycles == stats.cycles
+        assert profile.energy_nj == pytest.approx(stats.energy_nj)
+        assert profile.latency_s == pytest.approx(stats.latency_s(engine.tech))
+
+    def test_profile_program_equals_executor_stats(self, tiny_pool, tiny_request):
+        """profile_program reproduces the executor's stats field-for-field."""
+        engine = tiny_pool.template(tiny_request(0).params_name)
+        program = engine.compiled_program("intt")
+        static = profile_program(program, engine.tech)
+        engine.load([list(tiny_request(1).payload)])
+        executed = engine._execute(program)
+        assert static == executed
+
+    def test_polymul_profile_sums_three_kernels(self, tiny_pool, tiny_request):
+        operand = tuple([2] + [0] * (TINY_N - 1))
+        r = tiny_request(0, op="polymul", operand=operand)
+        poly = tiny_pool.profile(r.batch_key)
+        ntt = tiny_pool.profile((r.params_name, "ntt", None))
+        intt = tiny_pool.profile((r.params_name, "intt", None))
+        assert poly.cycles > ntt.cycles + intt.cycles
+
+    def test_pointwise_program_cache(self, tiny_pool, tiny_request):
+        engine = tiny_pool.template(tiny_request(0).params_name)
+        hat = [3] * TINY_N
+        assert engine.pointwise_program(hat) is engine.pointwise_program(list(hat))
+
+
+class TestServe:
+    def test_model_and_sram_agree_with_gold(self, tiny_pool, tiny_request):
+        batch = make_batch(tiny_request, [0, 1, 2])
+        model_results, model_profile, _ = tiny_pool.serve(batch, mode="model", lane=0)
+        sram_results, sram_profile, _ = tiny_pool.serve(batch, mode="sram", lane=0)
+        assert model_results == sram_results
+        assert model_profile is sram_profile
+        for request, result in zip(batch.requests, model_results):
+            assert list(result) == gold_result(request)
+
+    def test_sram_polymul_matches_gold(self, tiny_pool, tiny_request):
+        operand = [5] + [0] * (TINY_N - 1)
+        batch = make_batch(tiny_request, [0, 1], op="polymul", operand=operand)
+        results, _, _ = tiny_pool.serve(batch, mode="sram")
+        for request, result in zip(batch.requests, results):
+            assert list(result) == gold_result(request)
+
+    def test_sram_trims_padding(self, tiny_pool, tiny_request):
+        batch = make_batch(tiny_request, [0])  # capacity 4, one live request
+        results, _, _ = tiny_pool.serve(batch, mode="sram")
+        assert len(results) == 1
+
+    def test_unknown_mode_rejected(self, tiny_pool, tiny_request):
+        batch = make_batch(tiny_request, [0])
+        with pytest.raises(ParameterError, match="execution mode"):
+            tiny_pool.serve(batch, mode="hardware")
+
+    def test_oversized_batch_rejected(self, tiny_pool, tiny_request):
+        batch = PolyBatch(key=tiny_request(0).batch_key, capacity=99)
+        for i in range(5):
+            batch.add(tiny_request(i))
+        with pytest.raises(ParameterError, match="exceeds invocation capacity"):
+            tiny_pool.serve(batch, mode="model")
+
+    def test_bad_lane_rejected(self, tiny_pool, tiny_request):
+        batch = make_batch(tiny_request, [0])
+        with pytest.raises(ParameterError, match="lane"):
+            tiny_pool.serve(batch, mode="model", lane=7)
+
+
+class TestBankedLanes:
+    def test_banked_capacity_and_results(self, tiny_name, tiny_request):
+        pool = EnginePool(PoolConfig(size=1, subarrays=2, rows=32, cols=32))
+        key = tiny_request(0).batch_key
+        assert pool.capacity(key) == 8  # 2 subarrays x batch 4
+        batch = PolyBatch(key=key, capacity=8)
+        for i in range(6):
+            batch.add(tiny_request(i))
+        results, profile, _ = pool.serve(batch, mode="sram")
+        assert len(results) == 6
+        for request, result in zip(batch.requests, results):
+            assert list(result) == gold_result(request)
+        # Energy doubles with ganged subarrays, latency does not.
+        single = EnginePool(PoolConfig(size=1, rows=32, cols=32))
+        sp = single.profile(key)
+        assert profile.energy_nj == pytest.approx(2 * sp.energy_nj)
+        assert profile.latency_s == pytest.approx(sp.latency_s)

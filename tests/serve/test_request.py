@@ -1,0 +1,128 @@
+"""Request/response records, validation, and the crypto adapters."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ntt.params import get_params
+from repro.ntt.transform import intt_negacyclic, ntt_negacyclic, polymul_negacyclic
+from repro.serve.request import (
+    Request,
+    Response,
+    dilithium_ntt_request,
+    gold_result,
+    he_multiply_plain_requests,
+    kyber_polymul_request,
+)
+
+TINY_N, TINY_Q = 16, 97  # mirrors the tiny ring in conftest.py
+
+
+class TestValidation:
+    def test_unknown_op_rejected(self, tiny_name):
+        with pytest.raises(ParameterError, match="unknown op"):
+            Request(request_id=0, op="fft", params_name=tiny_name,
+                    payload=tuple(range(TINY_N)))
+
+    def test_polymul_needs_operand(self, tiny_name):
+        with pytest.raises(ParameterError, match="second operand"):
+            Request(request_id=0, op="polymul", params_name=tiny_name,
+                    payload=tuple(range(TINY_N)))
+
+    def test_kernel_ops_take_no_operand(self, tiny_name):
+        with pytest.raises(ParameterError, match="no second operand"):
+            Request(request_id=0, op="ntt", params_name=tiny_name,
+                    payload=tuple(range(TINY_N)), operand=tuple(range(TINY_N)))
+
+    def test_wrong_length_rejected(self, tiny_name):
+        with pytest.raises(ParameterError, match="coefficients"):
+            Request(request_id=0, op="ntt", params_name=tiny_name,
+                    payload=(1, 2, 3))
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ParameterError, match="unknown parameter set"):
+            Request(request_id=0, op="ntt", params_name="no-such-ring",
+                    payload=(0,) * 16)
+
+    def test_payload_canonicalized(self, tiny_name):
+        r = Request(request_id=0, op="ntt", params_name=tiny_name,
+                    payload=tuple(-1 for _ in range(TINY_N)))
+        assert r.payload == (TINY_Q - 1,) * TINY_N
+
+
+class TestBatchKey:
+    def test_same_kernel_coalesces(self, tiny_request):
+        assert tiny_request(0).batch_key == tiny_request(1).batch_key
+
+    def test_ops_do_not_mix(self, tiny_request):
+        assert tiny_request(0).batch_key != tiny_request(1, op="intt").batch_key
+
+    def test_polymul_operand_in_key(self, tiny_request):
+        a = tiny_request(0, op="polymul", operand=[1] * TINY_N)
+        b = tiny_request(1, op="polymul", operand=[1] * TINY_N)
+        c = tiny_request(2, op="polymul", operand=[2] * TINY_N)
+        assert a.batch_key == b.batch_key
+        assert a.batch_key != c.batch_key
+
+    def test_default_kind_is_op(self, tiny_request):
+        assert tiny_request(0).kind == "ntt"
+
+
+class TestGoldResult:
+    def test_ntt(self, tiny_request):
+        r = tiny_request(3)
+        params = get_params(r.params_name)
+        assert gold_result(r) == ntt_negacyclic(list(r.payload), params)
+
+    def test_intt_roundtrip(self, tiny_request):
+        fwd = tiny_request(4)
+        params = get_params(fwd.params_name)
+        back = tiny_request(5, op="intt", payload=gold_result(fwd))
+        assert gold_result(back) == intt_negacyclic(
+            ntt_negacyclic(list(fwd.payload), params), params
+        )
+
+    def test_polymul(self, tiny_request):
+        operand = [3] + [0] * (TINY_N - 1)
+        r = tiny_request(6, op="polymul", operand=operand)
+        params = get_params(r.params_name)
+        assert gold_result(r) == polymul_negacyclic(
+            list(r.payload), operand, params
+        )
+
+
+class TestAdapters:
+    def test_kyber(self):
+        params = get_params("kyber-v1")
+        a = list(range(params.n))
+        b = [1] + [0] * (params.n - 1)
+        r = kyber_polymul_request(a, b, request_id=9, arrival_s=0.5)
+        assert (r.op, r.params_name, r.kind) == ("polymul", "kyber-v1", "kyber")
+        assert r.arrival_s == 0.5
+        assert gold_result(r) == [c % params.q for c in a]
+
+    def test_dilithium(self):
+        params = get_params("dilithium")
+        r = dilithium_ntt_request(list(range(params.n)), request_id=2)
+        assert (r.op, r.params_name, r.kind) == ("ntt", "dilithium", "dilithium")
+
+    def test_he_pair_shares_batch_key(self):
+        params = get_params("he-16bit")
+        u = [1] * params.n
+        v = [2] * params.n
+        plain = [3] * params.n
+        pair = he_multiply_plain_requests(u, v, plain, request_id=10)
+        assert [r.request_id for r in pair] == [10, 11]
+        assert pair[0].batch_key == pair[1].batch_key
+        assert all(r.kind == "he" for r in pair)
+        assert pair[0].payload != pair[1].payload
+
+
+class TestResponse:
+    def test_timing_breakdown(self, tiny_request):
+        r = tiny_request(0, arrival_s=1.0)
+        resp = Response(request=r, result=r.payload, start_s=1.25, finish_s=1.5,
+                        energy_nj=2.0, engine_index=0, batch_size=2,
+                        batch_padding=2)
+        assert resp.queue_s == pytest.approx(0.25)
+        assert resp.service_s == pytest.approx(0.25)
+        assert resp.latency_s == pytest.approx(0.5)

@@ -1,0 +1,83 @@
+"""Traffic generators: rates, mixes, operand pooling, determinism."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ntt.params import get_params
+from repro.serve.workload import SCENARIOS, Scenario, bursty_trace, poisson_trace
+
+
+class TestScenarios:
+    def test_known_scenarios(self):
+        assert set(SCENARIOS) == {"ntt", "kyber", "dilithium", "he", "mixed"}
+
+    def test_weights_validated(self):
+        comp = SCENARIOS["kyber"].components[0]
+        with pytest.raises(ParameterError, match="weights"):
+            Scenario("broken", (comp,) * 2)  # sums to 2.0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ParameterError, match="unknown scenario"):
+            poisson_trace("no-such-mix", 100, 0.1)
+
+
+class TestPoisson:
+    def test_rate_and_window(self):
+        trace = poisson_trace("ntt", rate=2000, duration_s=0.5, seed=3)
+        assert 700 <= len(trace) <= 1300  # ~1000 expected
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 0.5 for t in arrivals)
+        assert len({r.request_id for r in trace}) == len(trace)
+
+    def test_deterministic_by_seed(self):
+        a = poisson_trace("kyber", 500, 0.1, seed=7)
+        b = poisson_trace("kyber", 500, 0.1, seed=7)
+        assert [(r.arrival_s, r.payload) for r in a] == [
+            (r.arrival_s, r.payload) for r in b
+        ]
+        c = poisson_trace("kyber", 500, 0.1, seed=8)
+        assert [r.arrival_s for r in a] != [r.arrival_s for r in c]
+
+    def test_operands_drawn_from_small_pool(self):
+        trace = poisson_trace("kyber", 1000, 0.1, seed=5)
+        operands = {r.operand for r in trace}
+        assert 1 <= len(operands) <= 2  # operand_pool=2
+        params = get_params("kyber-v1")
+        assert all(len(r.payload) == params.n for r in trace)
+
+    def test_he_requests_come_in_pairs(self):
+        trace = poisson_trace("he", 300, 0.1, seed=5)
+        assert len(trace) % 2 == 0
+        for first, second in zip(trace[0::2], trace[1::2]):
+            assert first.arrival_s == second.arrival_s
+            assert first.batch_key == second.batch_key
+
+    def test_mixed_has_all_kinds(self):
+        trace = poisson_trace("mixed", 2000, 0.2, seed=1)
+        assert {r.kind for r in trace} == {"kyber", "dilithium", "he"}
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ParameterError):
+            poisson_trace("ntt", 0, 1.0)
+        with pytest.raises(ParameterError):
+            poisson_trace("ntt", 100, -1.0)
+
+
+class TestBursty:
+    def test_mean_rate_preserved(self):
+        trace = bursty_trace("ntt", rate=2000, duration_s=1.0, seed=9)
+        assert 1600 <= len(trace) <= 2400
+
+    def test_bursts_cluster_arrivals(self):
+        trace = bursty_trace("ntt", rate=5000, duration_s=0.5, seed=9,
+                             burst=2.5, duty=0.3, period_s=0.05)
+        in_burst = sum(1 for r in trace if (r.arrival_s % 0.05) < 0.015)
+        # Burst windows are 30% of time but >55% of traffic (expect ~75%).
+        assert in_burst / len(trace) > 0.55
+
+    def test_bounds_validated(self):
+        with pytest.raises(ParameterError, match="duty"):
+            bursty_trace("ntt", 100, 0.1, duty=1.5)
+        with pytest.raises(ParameterError, match="burst"):
+            bursty_trace("ntt", 100, 0.1, burst=10.0, duty=0.3)

@@ -9,9 +9,32 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for cmd in ("table1", "fig1", "fig6", "fig7", "fig8a", "fig8b",
-                    "verify", "breakdown", "scaling"):
+                    "verify", "breakdown", "scaling", "serve"):
             args = parser.parse_args([cmd] if cmd != "verify" else [cmd, "--trials", "1"])
             assert args.command == cmd
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--scenario", "kyber", "--rate", "50", "--duration",
+             "0.2", "--pool-size", "3", "--max-wait-ms", "1.5",
+             "--arrivals", "bursty", "--mode", "sram", "--max-batch", "4"]
+        )
+        assert args.scenario == "kyber"
+        assert args.rate == 50.0
+        assert args.duration == 0.2
+        assert args.pool_size == 3
+        assert args.max_wait_ms == 1.5
+        assert args.arrivals == "bursty"
+        assert args.mode == "sram"
+        assert args.max_batch == 4
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.scenario == "mixed"
+        assert args.rate == 200.0
+        assert args.duration == 1.0
+        assert args.mode == "model"
+        assert args.max_batch is None
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -42,3 +65,11 @@ class TestCheapCommands:
         main(["verify", "--trials", "2"])
         out = capsys.readouterr().out
         assert "PASS" in out
+
+    def test_serve_ntt_scenario(self, capsys):
+        main(["serve", "--scenario", "ntt", "--rate", "400", "--duration",
+              "0.05", "--pool-size", "1", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert "p50(ms)" in out and "p99(ms)" in out
+        assert "engine utilization" in out
+        assert "scenario=ntt" in out
