@@ -4,11 +4,15 @@ Replays the same Poisson Kyber trace through the serving runtime under
 three coalescing windows and reports how the max-wait knob trades queue
 delay against batch occupancy (and therefore energy per request).  The
 benchmark times one full discrete-event replay with warm program
-caches — the steady-state cost of the serving loop itself.
+caches — the steady-state cost of the serving loop itself.  The
+invocation price that grounds every number is taken through
+``Backend.profile`` and cross-checked across every registered backend.
 """
 
 import pytest
 
+from repro.backends import available_backends, create_backend
+from repro.ntt.params import get_params
 from repro.serve import (
     BatchPolicy,
     EnginePool,
@@ -39,9 +43,28 @@ def test_serve_latency_vs_batching(trace, pool, artifact_writer, benchmark):
         simulator = ServingSimulator(pool, BatchPolicy(max_wait_s=wait_ms * 1e-3))
         reports[wait_ms] = simulator.replay(trace)
 
+    # The per-invocation price behind every report row, taken through
+    # Backend.profile — and identical from every registered backend
+    # (the template engine is shared, so compilation happens once).
+    request = trace[0]
+    params = get_params(request.params_name)
+    costs = {}
+    for name in available_backends():
+        backend = create_backend(
+            name, params, template=pool.template(request.params_name)
+        )
+        kernel = backend.compile(request.op, request.operand)
+        costs[name] = backend.profile(kernel)
+    reference = costs["model"]
+    assert all(cost == reference for cost in costs.values())
+
     lines = [
         f"Kyber polymul, Poisson {RATE:g} req/s x {DURATION_S:g}s, "
-        f"pool=2 engines, model mode",
+        f"pool=2 engines, model backend",
+        "",
+        f"one {request.op} invocation (any backend): "
+        f"{reference.cycles:,} cycles, {reference.latency_s * 1e6:.1f} us, "
+        f"{reference.energy_nj:.1f} nJ",
         "",
         f"{'Wait(ms)':>8} {'p50(ms)':>8} {'p95(ms)':>8} {'p99(ms)':>8} "
         f"{'Occupancy':>10} {'E/req(nJ)':>10}",

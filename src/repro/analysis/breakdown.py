@@ -81,6 +81,6 @@ def sense_amp_ablation(program: Program) -> Dict[str, int]:
     modified = technology_variant(1, 1, name="modified-SA")
     conventional = technology_variant(2, 2, name="conventional-SA")
     return {
-        "modified_sa_cycles": program_cost(program, modified)[0],
-        "conventional_sa_cycles": program_cost(program, conventional)[0],
+        "modified_sa_cycles": program_cost(program, modified).cycles,
+        "conventional_sa_cycles": program_cost(program, conventional).cycles,
     }

@@ -26,11 +26,12 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
+from repro.backends import price_programs
 from repro.core.layout import DataLayout
 from repro.core.scheduler import compile_ntt_from_twiddles
 from repro.errors import CapacityError, ParameterError
+from repro.sram.cost import CostReport
 from repro.sram.energy import TECH_45NM, TechnologyModel
-from repro.sram.executor import profile_program
 from repro.sram.program import Program
 from repro.utils.bitops import is_power_of_two
 
@@ -52,15 +53,16 @@ class SweepPoint:
         return self.batch > 0
 
 
-def program_cost(program: Program, tech: TechnologyModel) -> tuple:
-    """(cycles, energy_pj, shift_ops) of a program without executing it.
+def program_cost(program: Program, tech: TechnologyModel) -> CostReport:
+    """The :class:`CostReport` of a program without executing it.
 
     Cost is a pure function of the instruction mix; this prices each
-    instruction with the same tables the executor charges, so it matches
-    a real run instruction-for-instruction (asserted in the tests).
+    instruction with the same tables the executor charges — through the
+    backend layer's shared :func:`repro.backends.price_programs` — so
+    it matches a real run instruction-for-instruction (asserted in the
+    tests).
     """
-    stats = profile_program(program, tech)
-    return stats.cycles, stats.energy_pj, stats.shift_count
+    return price_programs((program,), tech)
 
 
 def _synthetic_twiddles(n: int, width: int, rng: random.Random) -> List[int]:
@@ -82,15 +84,15 @@ def sweep_point(width: int, order: int, *, rows: int = 256, cols: int = 256,
     program = compile_ntt_from_twiddles(
         layout, _synthetic_twiddles(order, width, rng), name=f"sweep-w{width}-n{order}"
     )
-    cycles, energy_pj, shifts = program_cost(program, tech)
+    cost = program_cost(program, tech)
     return SweepPoint(
         width=width,
         order=order,
         batch=layout.batch,
-        cycles=cycles,
-        energy_per_ntt_nj=energy_pj / 1000.0 / layout.batch,
-        latency_us=tech.cycles_to_seconds(cycles) * 1e6,
-        shift_ops=shifts,
+        cycles=cost.cycles,
+        energy_per_ntt_nj=cost.energy_per_item_nj(layout.batch),
+        latency_us=cost.latency_s * 1e6,
+        shift_ops=cost.shift_count,
     )
 
 

@@ -1,0 +1,72 @@
+"""repro.backends — unified execution backends behind every layer.
+
+The core library grew three ways of running a kernel: the bitline
+interpreter (exact, slow), the gold transforms with static pricing
+(fast, cycle-identical), and host-side vectorized math.  This package
+turns that ad-hoc split into an API: a :class:`~repro.backends.base.Backend`
+protocol (``capabilities`` / ``compile`` / ``execute`` / ``profile``),
+a string-keyed registry, and a shared
+:class:`~repro.sram.cost.CostReport` every substrate prices with.
+
+Built-in backends:
+
+- ``sram`` — the subarray interpreter (:class:`~repro.core.engine.BPNTTEngine`
+  or :class:`~repro.core.multiarray.BankedEngine`, which implement the
+  protocol natively).  Exact, used to pin the others.
+- ``model`` — gold transforms for results, compiled programs for
+  pricing; cycle-identical to ``sram`` at a fraction of the host time.
+- ``numpy`` — vectorized negacyclic NTT over the whole batch at once,
+  priced by the same cost tables (registered only when numpy is
+  importable).
+
+Write your own by registering a factory::
+
+    from repro.backends import register_backend
+    register_backend("mine", "my_package.backend:build")   # lazy, or
+    register_backend("mine2", MyBackend)                   # eager
+
+after which ``repro.cli serve --backend mine`` and
+:meth:`EnginePool.serve` reach it with no further wiring.
+"""
+
+from importlib.util import find_spec
+
+from repro.backends.base import (
+    KERNEL_OPS,
+    Backend,
+    BackendCapabilities,
+    CompiledKernel,
+    price_programs,
+)
+from repro.backends.registry import (
+    available_backends,
+    create_backend,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.errors import BackendError
+from repro.sram.cost import CostReport
+
+# Built-ins register lazily ("module:attr") so importing this package
+# never imports repro.core — which is what lets the engines themselves
+# import the protocol types above.
+register_backend("model", "repro.backends.model:ModelBackend", replace=True)
+register_backend("sram", "repro.backends.sram:build_sram_backend", replace=True)
+if find_spec("numpy") is not None:
+    register_backend("numpy", "repro.backends.numpy_gold:NumpyBackend", replace=True)
+
+__all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "BackendError",
+    "CompiledKernel",
+    "CostReport",
+    "KERNEL_OPS",
+    "available_backends",
+    "create_backend",
+    "get_backend",
+    "price_programs",
+    "register_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,125 @@
+"""The execution-backend protocol: what every substrate must speak.
+
+A *backend* is anything that can run the serving runtime's three kernel
+ops — ``ntt``, ``intt``, ``polymul`` — on a batch of polynomials and
+price the invocation with the paper's cycle/energy model.  The contract
+is four methods:
+
+- :meth:`Backend.capabilities` — static facts: batch capacity, the ops
+  supported, and whether the instance holds per-lane state.
+- :meth:`Backend.compile` — turn ``(op, operand)`` into a reusable
+  :class:`CompiledKernel` handle (the CTRL/CMD "store the program once"
+  story: handles are cached and shared across batches).
+- :meth:`Backend.execute` — run one handle over a list of payload
+  polynomials, returning one canonical coefficient list per payload.
+- :meth:`Backend.profile` — the handle's :class:`CostReport`, priced
+  from the same per-instruction tables the executor charges, so every
+  backend reports byte-identical cycles and energy for the same kernel.
+
+Backends are constructed by registry factories with the uniform
+signature ``factory(params, *, rows, cols, subarrays, tech, template,
+width)`` (see :mod:`repro.backends.registry`); ``template`` optionally
+shares a caller-owned :class:`~repro.core.engine.BPNTTEngine` so its
+compiled-program cache prices every backend from one compilation.
+
+This module sits *below* ``repro.core``: it may import only the sram
+layer, which is what lets the engines themselves implement the
+protocol without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.sram.cost import CostReport
+from repro.sram.energy import TechnologyModel
+from repro.sram.executor import ExecutionStats, profile_program
+from repro.sram.program import Program
+
+#: Kernel operations every backend must support (the serving runtime's
+#: request vocabulary; ``repro.serve.request`` re-exports this).
+KERNEL_OPS = ("ntt", "intt", "polymul")
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """Static facts a pool or CLI can plan around.
+
+    Attributes:
+        name: the registry name this instance serves.
+        description: one-line human summary for ``repro.cli backends``.
+        batch: polynomials absorbed per invocation (all replicas).
+        stateful: True when the instance owns mutable storage (a real
+            subarray) and therefore needs one private instance per pool
+            lane; False for pure substrates one instance can serve from
+            every lane.
+        ops: supported kernel operations.
+    """
+
+    name: str
+    description: str
+    batch: int
+    stateful: bool = False
+    ops: Tuple[str, ...] = KERNEL_OPS
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """A backend's reusable handle for one ``(op, operand)`` kernel.
+
+    Attributes:
+        op: ``"ntt"``, ``"intt"`` or ``"polymul"``.
+        operand: canonical coefficients of the fixed second polynomial
+            (``polymul`` only).
+        operand_hat: the operand's forward NTT, transformed once at
+            compile time and reused by every batch.
+        programs: the compiled instruction streams the invocation runs,
+            in execution order — also the pricing ground truth.
+    """
+
+    op: str
+    operand: Optional[Tuple[int, ...]]
+    operand_hat: Optional[Tuple[int, ...]]
+    programs: Tuple[Program, ...]
+
+
+def price_programs(programs: Sequence[Program], tech: TechnologyModel,
+                   *, replicas: int = 1) -> CostReport:
+    """Price an instruction-stream sequence with the shared cost tables.
+
+    This is the one pricing routine behind every ``Backend.profile``
+    (and the analysis sweeps): statically profile each program, merge,
+    convert to a :class:`CostReport`, and apply the ganged-subarray
+    replication rule.  Keeping it single-sourced is what makes backend
+    cost reports byte-identical.
+    """
+    stats = ExecutionStats.merge(*(profile_program(p, tech) for p in programs))
+    return CostReport.from_stats(stats, tech).replicate(replicas)
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Structural interface of an execution backend.
+
+    ``BPNTTEngine`` and ``BankedEngine`` implement this directly; pure
+    substrates (gold model, numpy) wrap a template engine for pricing.
+    """
+
+    def capabilities(self) -> BackendCapabilities:
+        """Static facts about this instance."""
+        ...  # pragma: no cover - protocol
+
+    def compile(self, op: str,
+                operand: Optional[Sequence[int]] = None) -> CompiledKernel:
+        """Build (or fetch the cached) handle for one kernel."""
+        ...  # pragma: no cover - protocol
+
+    def execute(self, kernel: CompiledKernel,
+                payloads: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Run the kernel over ``payloads``; one result list each."""
+        ...  # pragma: no cover - protocol
+
+    def profile(self, kernel: CompiledKernel) -> CostReport:
+        """The cycle/energy price of one invocation of ``kernel``."""
+        ...  # pragma: no cover - protocol

@@ -1,0 +1,91 @@
+"""The ``model`` backend: gold-model results, compiled-program pricing.
+
+Results come from the reference transforms in
+:mod:`repro.ntt.transform`; the invocation is priced by statically
+profiling the *actual compiled programs* of a template
+:class:`~repro.core.engine.BPNTTEngine`.  Because the executor charges
+fixed per-class costs, the price is cycle- and energy-identical to
+interpreting the subarray — at a tiny fraction of the host time.  This
+is the serving runtime's default substrate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.backends.base import BackendCapabilities, CompiledKernel
+from repro.core.engine import BPNTTEngine
+from repro.errors import ParameterError
+from repro.ntt.params import NTTParams
+from repro.ntt.transform import intt_negacyclic, ntt_negacyclic
+from repro.sram.cost import CostReport
+from repro.sram.energy import TECH_45NM, TechnologyModel
+
+
+class ModelBackend:
+    """Pure (stateless) backend: gold math, cycle-accurate pricing."""
+
+    name = "model"
+    description = ("gold transforms for results, statically priced from the "
+                   "compiled programs (cycle-identical to sram)")
+
+    def __init__(
+        self,
+        params: NTTParams,
+        *,
+        rows: int = 256,
+        cols: int = 256,
+        subarrays: int = 1,
+        tech: TechnologyModel = TECH_45NM,
+        template: Optional[BPNTTEngine] = None,
+        width: Optional[int] = None,
+    ):
+        if subarrays < 1:
+            raise ParameterError(f"subarrays must be >= 1, got {subarrays}")
+        self.params = params
+        self.subarrays = subarrays
+        self.template = template if template is not None else BPNTTEngine(
+            params, width=width, rows=rows, cols=cols, tech=tech
+        )
+        self.tech = self.template.tech
+
+    # -- protocol ---------------------------------------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description=self.description,
+            batch=self.template.batch * self.subarrays,
+            stateful=False,
+        )
+
+    def compile(self, op: str,
+                operand: Optional[Sequence[int]] = None) -> CompiledKernel:
+        """Delegate to the template engine's cached kernel handles."""
+        return self.template.compile(op, operand)
+
+    def execute(self, kernel: CompiledKernel,
+                payloads: Sequence[Sequence[int]]) -> List[List[int]]:
+        return [self._transform(kernel, list(payload)) for payload in payloads]
+
+    def profile(self, kernel: CompiledKernel) -> CostReport:
+        return self.template.profile(kernel).replicate(self.subarrays)
+
+    # -- gold math --------------------------------------------------------
+
+    def _transform(self, kernel: CompiledKernel, payload: List[int]) -> List[int]:
+        table = self.template.twiddle_table
+        if kernel.op == "ntt":
+            return ntt_negacyclic(payload, self.params, table)
+        if kernel.op == "intt":
+            return intt_negacyclic(payload, self.params, table)
+        # polymul: forward-transform the payload, multiply pointwise by
+        # the operand's compile-time NTT, and come back.
+        q = self.params.q
+        payload_hat = ntt_negacyclic(payload, self.params, table)
+        product = [(a * b) % q for a, b in zip(payload_hat, kernel.operand_hat)]
+        return intt_negacyclic(product, self.params, table)
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.params!r}, "
+                f"subarrays={self.subarrays})")

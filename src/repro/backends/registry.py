@@ -1,0 +1,91 @@
+"""String-keyed registry of execution-backend factories.
+
+The registry is the seam the rest of the codebase dispatches through:
+``repro.serve.pool`` resolves its execution mode here, the CLI derives
+its ``--backend`` choices from :func:`available_backends`, and third
+parties extend the system by registering a factory under a new name —
+no layer above this module hardcodes the set of substrates.
+
+A *factory* is any callable with the uniform construction signature::
+
+    factory(params: NTTParams, *, rows=256, cols=256, subarrays=1,
+            tech=TECH_45NM, template=None, width=None) -> Backend
+
+Factories may be registered lazily as ``"module.path:attribute"``
+strings; the module is imported on first :func:`get_backend`, which is
+how the built-ins avoid an import cycle with ``repro.core`` (and how a
+backend with an optional dependency stays cheap to register).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, Tuple, Union
+
+from repro.errors import BackendError
+
+#: name -> factory callable, or a "module:attr" string resolved lazily.
+_REGISTRY: Dict[str, Union[str, Callable]] = {}
+
+
+def register_backend(name: str, factory: Union[str, Callable], *,
+                     replace: bool = False) -> None:
+    """Register a backend factory under ``name``.
+
+    ``factory`` is either a callable with the uniform construction
+    signature or a lazy ``"module.path:attribute"`` spec.  Registering
+    an existing name raises :class:`~repro.errors.BackendError` unless
+    ``replace=True`` (duplicate registrations are almost always two
+    modules fighting over a name).
+    """
+    if not name or not isinstance(name, str):
+        raise BackendError(f"backend name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not replace:
+        raise BackendError(
+            f"backend {name!r} is already registered; pass replace=True to override"
+        )
+    if isinstance(factory, str):
+        if ":" not in factory:
+            raise BackendError(
+                f"lazy backend spec must look like 'module.path:attribute', "
+                f"got {factory!r}"
+            )
+    elif not callable(factory):
+        raise BackendError(f"backend factory must be callable, got {factory!r}")
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (no-op when absent); used by tests and plugins."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> Callable:
+    """The factory registered under ``name`` (resolving lazy specs)."""
+    try:
+        spec = _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(available_backends()) or '(none)'}"
+        ) from None
+    if isinstance(spec, str):
+        module_name, _, attribute = spec.partition(":")
+        try:
+            spec = getattr(importlib.import_module(module_name), attribute)
+        except (ImportError, AttributeError) as error:
+            raise BackendError(
+                f"backend {name!r} failed to load from {module_name}:{attribute}: {error}"
+            ) from error
+        _REGISTRY[name] = spec
+    return spec
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted (the CLI's ``--backend`` choices)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(name: str, params, **kwargs):
+    """Construct a backend instance: ``get_backend(name)(params, **kwargs)``."""
+    return get_backend(name)(params, **kwargs)

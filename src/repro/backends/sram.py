@@ -1,0 +1,47 @@
+"""The ``sram`` backend factory: the bitline-accurate interpreter.
+
+:class:`~repro.core.engine.BPNTTEngine` and
+:class:`~repro.core.multiarray.BankedEngine` implement the
+:class:`~repro.backends.base.Backend` protocol themselves; this module
+only chooses between them from the uniform factory signature (one bare
+subarray, or ``subarrays`` ganged under a shared CTRL/CMD stream) so
+the registry can construct either behind the one name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import BPNTTEngine
+from repro.core.multiarray import BankedEngine
+from repro.ntt.params import NTTParams
+from repro.sram.cache import BankGeometry
+from repro.sram.energy import TECH_45NM, TechnologyModel
+
+
+def build_sram_backend(
+    params: NTTParams,
+    *,
+    rows: int = 256,
+    cols: int = 256,
+    subarrays: int = 1,
+    tech: TechnologyModel = TECH_45NM,
+    template: Optional[BPNTTEngine] = None,
+    width: Optional[int] = None,
+):
+    """Build the interpreter backend for one parameter set.
+
+    With ``subarrays == 1`` a caller-shared ``template`` engine is used
+    directly when given (the pool's lane 0 *is* its pricing template,
+    preserving the compiled-program cache); otherwise a fresh engine is
+    built.  ``subarrays > 1`` gangs that many data subarrays plus the
+    shared CTRL/CMD subarray into a :class:`BankedEngine`.
+    """
+    if subarrays == 1:
+        if template is not None:
+            return template
+        return BPNTTEngine(params, width=width, rows=rows, cols=cols, tech=tech)
+    geometry = BankGeometry(
+        subarrays_per_bank=subarrays + 1, rows=rows, cols=cols
+    )
+    return BankedEngine(params, width=width, geometry=geometry, tech=tech)

@@ -11,6 +11,10 @@ Usage::
     python -m repro.cli verify            # differential campaigns
     python -m repro.cli breakdown         # butterfly cycle breakdown
     python -m repro.cli serve             # request-level serving simulation
+    python -m repro.cli backends          # registered execution backends
+
+``serve`` and ``verify`` accept ``--backend <name>`` to pick any
+execution backend registered in :mod:`repro.backends`.
 
 All output goes to stdout; the heavy targets (table1, serve with HE
 traffic) run the cycle-level simulator or compile large programs and
@@ -66,14 +70,20 @@ def _cmd_fig8b(_: argparse.Namespace) -> None:
 
 
 def _cmd_verify(args: argparse.Namespace) -> None:
-    from repro.core.verify import verify_engine_roundtrips, verify_modmul_widths
+    from repro.core.verify import (
+        verify_backend_results,
+        verify_engine_roundtrips,
+        verify_modmul_widths,
+    )
 
     modmul = verify_modmul_widths(trials_per_width=args.trials)
     print(modmul)
     engine = verify_engine_roundtrips()
     print(engine)
-    if not (modmul.passed and engine.passed):
-        for mismatch in modmul.mismatches + engine.mismatches:
+    backend = verify_backend_results(args.backend)
+    print(backend)
+    if not (modmul.passed and engine.passed and backend.passed):
+        for mismatch in modmul.mismatches + engine.mismatches + backend.mismatches:
             print(f"  {mismatch.description} (seed {mismatch.seed})")
         sys.exit(1)
 
@@ -139,7 +149,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             max_wait_s=args.max_wait_ms * 1e-3,
             max_batch=args.max_batch,
         )
-        simulator = ServingSimulator(pool, policy, mode=args.mode)
+        simulator = ServingSimulator(pool, policy, backend=args.backend)
         report = simulator.replay(trace)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -148,10 +158,23 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         f"scenario={args.scenario} arrivals={args.arrivals} "
         f"rate={args.rate:g}/s duration={args.duration:g}s "
         f"pool={args.pool_size}x{args.subarrays} "
-        f"max-wait={args.max_wait_ms:g}ms mode={args.mode}"
+        f"max-wait={args.max_wait_ms:g}ms backend={args.backend}"
     )
     print()
     print(format_serve_report(report))
+
+
+def _cmd_backends(_: argparse.Namespace) -> None:
+    from repro.backends import available_backends, create_backend
+    from repro.ntt.params import get_params
+
+    params = get_params("table1-14bit")
+    print(f"{'name':<8} {'lane state':<10} {'batch':>5} {'ops':<18} description")
+    for name in available_backends():
+        caps = create_backend(name, params).capabilities()
+        lane_state = "stateful" if caps.stateful else "shared"
+        ops = ",".join(caps.ops)
+        print(f"{name:<8} {lane_state:<10} {caps.batch:>5} {ops:<18} {caps.description}")
 
 
 _COMMANDS = {
@@ -165,11 +188,15 @@ _COMMANDS = {
     "breakdown": _cmd_breakdown,
     "scaling": _cmd_scaling,
     "serve": _cmd_serve,
+    "backends": _cmd_backends,
 }
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
+    from repro.backends import available_backends
+
+    backend_names = available_backends()
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="Regenerate BP-NTT paper artifacts from the reproduction.",
@@ -197,16 +224,23 @@ def build_parser() -> argparse.ArgumentParser:
                              help="cap requests per batch (default: capacity)")
             cmd.add_argument("--arrivals", choices=("poisson", "bursty"),
                              default="poisson", help="arrival process")
-            cmd.add_argument("--mode", choices=("model", "sram"),
-                             default="model",
-                             help="model: gold results + static pricing (fast); "
-                                  "sram: interpret every bitline op (slow)")
+            cmd.add_argument("--backend", "--mode", dest="backend",
+                             choices=backend_names, default="model",
+                             help="execution backend (see `repro.cli backends`); "
+                                  "--mode is the deprecated spelling")
             cmd.add_argument("--seed", type=int, default=2023)
+            continue
+        if name == "backends":
+            sub.add_parser(name, help="list registered execution backends")
             continue
         cmd = sub.add_parser(name, help=f"generate {name}")
         if name == "verify":
             cmd.add_argument("--trials", type=int, default=30,
                              help="trials per bitwidth (default 30)")
+            cmd.add_argument("--backend", choices=backend_names,
+                             default="model",
+                             help="backend for the differential results "
+                                  "campaign (default model)")
     return parser
 
 

@@ -5,16 +5,21 @@ API: load a batch, run ``ntt()`` / ``intt()`` / ``polymul_pointwise()``,
 read results, and collect a :class:`NTTRunReport` with the cycle,
 latency, energy and derived Table-I metrics.
 
-Example:
+The engine also implements the :class:`repro.backends.base.Backend`
+protocol (``capabilities`` / ``compile`` / ``execute`` / ``profile``),
+which is how the serving pool drives it through the backend registry.
 
-    >>> from repro.ntt.params import get_params
+Example (a small ring so the doctest compiles in milliseconds):
+
     >>> from repro.core.engine import BPNTTEngine
-    >>> params = get_params("table1-14bit")
-    >>> engine = BPNTTEngine(params, width=16)
+    >>> from repro.ntt.params import NTTParams
+    >>> from repro.ntt.transform import ntt_negacyclic
+    >>> params = NTTParams(n=8, q=17)
+    >>> engine = BPNTTEngine(params, width=8, rows=32, cols=32)
     >>> polys = [[i % params.q for i in range(params.n)]] * engine.batch
     >>> engine.load(polys)
     >>> report = engine.ntt()
-    >>> engine.results() == [__import__("repro.ntt.transform", fromlist=["ntt"]).ntt(p, params) for p in polys]
+    >>> engine.results() == [ntt_negacyclic(p, params) for p in polys]
     True
 """
 
@@ -23,12 +28,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.backends.base import BackendCapabilities, CompiledKernel, KERNEL_OPS, price_programs
 from repro.core.layout import DataLayout
 from repro.core.scheduler import compile_intt, compile_ntt, compile_pointwise_mul
 from repro.core.tiles import container_width
 from repro.errors import ParameterError, VerificationError
 from repro.ntt.params import NTTParams
 from repro.ntt.twiddles import TwiddleTable
+from repro.sram.cost import CostReport
 from repro.sram.energy import TECH_45NM, TechnologyModel
 from repro.sram.executor import ExecutionStats, Executor
 from repro.sram.program import Program
@@ -72,6 +79,37 @@ class NTTRunReport:
         """KNTT per mJ — Table I's TP column (= batch / batch energy)."""
         return self.batch / (self.energy_nj * 1e-6) / 1e3
 
+    @classmethod
+    def from_cost(cls, kernel: str, batch: int, cost: CostReport) -> "NTTRunReport":
+        """Build a run report from the shared cost report (the single
+        place pj->nj and cycles->seconds are derived)."""
+        return cls(
+            kernel=kernel,
+            batch=batch,
+            cycles=cost.cycles,
+            instructions=cost.instructions,
+            shift_count=cost.shift_count,
+            energy_nj=cost.energy_nj,
+            latency_s=cost.latency_s,
+            section_cycles=dict(cost.section_cycles),
+        )
+
+
+def run_compiled_kernel(engine, kernel: CompiledKernel,
+                        payloads: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Load ``payloads``, dispatch one compiled kernel, read back the
+    live slots — the one ``Backend.execute`` body shared by
+    :class:`BPNTTEngine` and the banked engine (anything exposing
+    ``load``/``ntt``/``intt``/``polymul_with_hat``/``results``)."""
+    engine.load(payloads)
+    if kernel.op == "ntt":
+        engine.ntt()
+    elif kernel.op == "intt":
+        engine.intt()
+    else:
+        engine.polymul_with_hat(list(kernel.operand_hat))
+    return engine.results()[: len(payloads)]
+
 
 class BPNTTEngine:
     """One subarray configured as a batched NTT accelerator."""
@@ -103,6 +141,7 @@ class BPNTTEngine:
         self.executor = Executor(self.subarray, tech)
         self._table = TwiddleTable(params)
         self._programs = {}
+        self._kernels = {}
         self._loaded = False
         self.subarray.broadcast_word(self.layout.scratch.mod, params.q)
 
@@ -211,15 +250,8 @@ class BPNTTEngine:
         return self._report(kernel, self._execute(program))
 
     def _report(self, kernel: str, stats: ExecutionStats) -> NTTRunReport:
-        return NTTRunReport(
-            kernel=kernel,
-            batch=self.batch,
-            cycles=stats.cycles,
-            instructions=stats.instructions,
-            shift_count=stats.shift_count,
-            energy_nj=stats.energy_nj,
-            latency_s=stats.latency_s(self.tech),
-            section_cycles=dict(stats.section_cycles),
+        return NTTRunReport.from_cost(
+            kernel, self.batch, CostReport.from_stats(stats, self.tech)
         )
 
     def ntt(self) -> NTTRunReport:
@@ -255,6 +287,70 @@ class BPNTTEngine:
         return self.polymul_with_hat(
             ntt_negacyclic(list(other), self.params, self._table)
         )
+
+    # -- the execution-backend protocol -------------------------------------
+    #
+    # One subarray *is* the reference "sram" backend: the registry's
+    # factory (repro.backends.sram) hands instances of this class (or
+    # BankedEngine) straight to the serving pool.
+
+    backend_name = "sram"
+
+    def capabilities(self) -> BackendCapabilities:
+        """Backend-protocol facts: exact interpreter, one lane per instance."""
+        return BackendCapabilities(
+            name=self.backend_name,
+            description="bitline-accurate subarray interpreter (exact, slow)",
+            batch=self.batch,
+            stateful=True,
+        )
+
+    def compile(self, op: str, operand: Optional[Sequence[int]] = None) -> CompiledKernel:
+        """The cached backend handle for one ``(op, operand)`` kernel.
+
+        For ``polymul`` the operand is forward-transformed once here and
+        its NTT baked into the handle, so every later batch skips the
+        host transform and reuses the compiled pointwise program.
+        """
+        q = self.params.q
+        canonical = None if operand is None else tuple(c % q for c in operand)
+        cache_key = (op, canonical)
+        if cache_key in self._kernels:
+            return self._kernels[cache_key]
+        if op in ("ntt", "intt"):
+            if operand is not None:
+                raise ParameterError(f"{op} kernels take no second operand")
+            kernel = CompiledKernel(
+                op=op, operand=None, operand_hat=None,
+                programs=(self.compiled_program(op),),
+            )
+        elif op == "polymul":
+            if canonical is None:
+                raise ParameterError("polymul kernels need a second operand")
+            from repro.ntt.transform import ntt_negacyclic
+
+            hat = tuple(ntt_negacyclic(list(canonical), self.params, self._table))
+            kernel = CompiledKernel(
+                op=op, operand=canonical, operand_hat=hat,
+                programs=(
+                    self.compiled_program("ntt"),
+                    self.pointwise_program(list(hat)),
+                    self.compiled_program("intt"),
+                ),
+            )
+        else:
+            raise ParameterError(f"unknown op {op!r}; expected one of {KERNEL_OPS}")
+        self._kernels[cache_key] = kernel
+        return kernel
+
+    def execute(self, kernel: CompiledKernel,
+                payloads: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Load ``payloads``, interpret the kernel, read back the live slots."""
+        return run_compiled_kernel(self, kernel, payloads)
+
+    def profile(self, kernel: CompiledKernel) -> CostReport:
+        """Static price of one invocation (identical to executing it)."""
+        return price_programs(kernel.programs, self.tech)
 
     # -- verification -------------------------------------------------------
 

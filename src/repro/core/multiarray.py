@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from repro.core.engine import BPNTTEngine, NTTRunReport
+from repro.backends.base import BackendCapabilities, CompiledKernel
+from repro.core.engine import BPNTTEngine, NTTRunReport, run_compiled_kernel
 from repro.errors import CapacityError, ParameterError
 from repro.ntt.params import NTTParams
 from repro.sram.cache import BankGeometry
+from repro.sram.cost import CostReport
 from repro.sram.energy import TECH_45NM, TechnologyModel
 
 
@@ -136,6 +138,14 @@ class BankedEngine:
             [engine.pointwise_multiply(other_hat) for engine in self.engines],
         )
 
+    def polymul_with_hat(self, other_hat: Sequence[int]) -> BankRunReport:
+        """As :meth:`polymul_with`, with the multiplier already in NTT
+        domain (transformed once, shared by every subarray)."""
+        return self._merge(
+            "polymul",
+            [engine.polymul_with_hat(other_hat) for engine in self.engines],
+        )
+
     def polymul_with(self, other: Sequence[int]) -> BankRunReport:
         """Full negacyclic product of every slot with a fixed polynomial.
 
@@ -144,13 +154,40 @@ class BankedEngine:
         """
         from repro.ntt.transform import ntt_negacyclic
 
-        other_hat = ntt_negacyclic(
-            list(other), self.params, self.engines[0].twiddle_table
+        return self.polymul_with_hat(
+            ntt_negacyclic(list(other), self.params, self.engines[0].twiddle_table)
         )
-        return self._merge(
-            "polymul",
-            [engine.polymul_with_hat(other_hat) for engine in self.engines],
+
+    # -- the execution-backend protocol -------------------------------------
+    #
+    # A bank is the "sram" backend at subarrays > 1: same contract as
+    # BPNTTEngine, with capacity and energy scaled by the gang width.
+
+    backend_name = "sram"
+
+    def capabilities(self) -> BackendCapabilities:
+        """Backend-protocol facts for the whole bank."""
+        return BackendCapabilities(
+            name=self.backend_name,
+            description=(f"bitline-accurate interpreter, {len(self.engines)} "
+                         "data subarrays in lockstep"),
+            batch=self.total_batch,
+            stateful=True,
         )
+
+    def compile(self, op: str, operand: Optional[Sequence[int]] = None) -> CompiledKernel:
+        """One handle for the whole bank (the CTRL/CMD subarray stores
+        the program once; subarray 0's cache is the bank's)."""
+        return self.engines[0].compile(op, operand)
+
+    def execute(self, kernel: CompiledKernel,
+                payloads: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Distribute ``payloads``, run the kernel bank-wide, read back."""
+        return run_compiled_kernel(self, kernel, payloads)
+
+    def profile(self, kernel: CompiledKernel) -> CostReport:
+        """One subarray's static price, replicated across the gang."""
+        return self.engines[0].profile(kernel).replicate(len(self.engines))
 
     def __repr__(self) -> str:
         return (

@@ -114,6 +114,55 @@ def verify_modmul_widths(widths=(4, 6, 8, 12, 16, 24, 32), trials_per_width: int
     return report
 
 
+def verify_backend_results(backend: str = "model", trials_per_config: int = 1,
+                           seed: int = 0) -> CampaignReport:
+    """Differentially test a registered execution backend against gold.
+
+    Every op of the named backend (resolved through the
+    :mod:`repro.backends` registry) runs a random full batch on two
+    small rings; results must match the gold transforms and the
+    invocation must profile to a positive cycle count.
+    """
+    from repro.backends import create_backend
+    from repro.ntt.transform import intt_negacyclic, polymul_negacyclic
+
+    configs = [NTTParams(n=8, q=17), NTTParams(n=16, q=97)]
+    report = CampaignReport(name=f"backend-{backend}")
+    rng = random.Random(seed)
+    for params in configs:
+        width = max(8, params.coeff_bits + 1)
+        impl = create_backend(
+            backend, params, width=width,
+            rows=max(32, params.n + 8), cols=4 * width,
+        )
+        batch = impl.capabilities().batch
+        for op in ("ntt", "intt", "polymul"):
+            operand = None
+            if op == "polymul":
+                operand = [rng.randrange(params.q) for _ in range(params.n)]
+            kernel = impl.compile(op, operand)
+            for _ in range(trials_per_config):
+                report.trials += 1
+                payloads = [
+                    [rng.randrange(params.q) for _ in range(params.n)]
+                    for _ in range(batch)
+                ]
+                results = impl.execute(kernel, payloads)
+                if op == "ntt":
+                    expected = [ntt_negacyclic(p, params) for p in payloads]
+                elif op == "intt":
+                    expected = [intt_negacyclic(p, params) for p in payloads]
+                else:
+                    expected = [
+                        polymul_negacyclic(p, operand, params) for p in payloads
+                    ]
+                if [list(r) for r in results] != expected:
+                    report.record(f"{backend} {op} mismatch {params!r}", seed)
+                if impl.profile(kernel).cycles <= 0:
+                    report.record(f"{backend} {op} priced at zero cycles", seed)
+    return report
+
+
 def verify_engine_roundtrips(configs: Optional[List[NTTParams]] = None,
                              trials_per_config: int = 2,
                              seed: int = 0) -> CampaignReport:

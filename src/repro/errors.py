@@ -33,5 +33,14 @@ class ExecutionError(ReproError):
     """The SRAM executor hit an illegal state while running a program."""
 
 
+class BackendError(ParameterError):
+    """An execution backend is unknown, already registered, or unusable.
+
+    Subclasses :class:`ParameterError` because a bad backend name is a
+    configuration mistake: callers that already guard pool/serve calls
+    with ``except ParameterError`` keep working unchanged.
+    """
+
+
 class VerificationError(ReproError):
     """An in-SRAM result disagrees with the gold (software) model."""

@@ -10,8 +10,9 @@ This package supplies the missing layer between the two:
   kernel- and crypto-level operations.
 - :mod:`repro.serve.batcher` — coalesces compatible requests into
   engine-capacity batches under a max-wait / max-batch policy.
-- :mod:`repro.serve.pool` — lazily built, cached engines per parameter
-  set with round-robin dispatch and compiled-program reuse.
+- :mod:`repro.serve.pool` — lazily built, cached execution backends per
+  parameter set (resolved through the :mod:`repro.backends` registry)
+  with round-robin dispatch and compiled-program reuse.
 - :mod:`repro.serve.simulator` — a discrete-event replay of a request
   trace, pricing every batch with the cycle-accurate latency model.
 - :mod:`repro.serve.workload` — synthetic traffic generators (Poisson,

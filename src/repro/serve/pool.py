@@ -1,45 +1,54 @@
-"""Engine pool: lazily built, cached accelerators per parameter set.
+"""Engine pool: lazily built, cached execution backends per parameter set.
 
 One pool owns ``size`` *lanes* per parameter set.  A lane is one
-:class:`~repro.core.engine.BPNTTEngine` (or a
-:class:`~repro.core.multiarray.BankedEngine` when ``subarrays > 1``),
+execution backend resolved through the :mod:`repro.backends` registry,
 built on first use and cached for the life of the pool so compiled
 programs are reused across every batch it serves — the CTRL/CMD
 subarray's "store the program once" story lifted to the serving layer.
 Batches round-robin across lanes.
 
-Two execution paths serve a batch:
+Any registered backend can serve a batch (``repro.cli backends`` lists
+them); the built-ins are:
 
 - ``model`` (default): results come from the gold transforms and the
   invocation is priced by a cached :class:`ServiceProfile` — the
   cycle/energy totals of the *actual compiled programs*, statically
-  costed with :func:`repro.sram.executor.profile_program`.  Because the
-  executor charges fixed per-class costs, this is cycle-identical to
-  running the subarray interpreter, at a tiny fraction of the host time.
+  costed through ``Backend.profile``.  Because the executor charges
+  fixed per-class costs, this is cycle-identical to running the
+  subarray interpreter, at a tiny fraction of the host time.
 - ``sram``: the batch is loaded into the lane's subarray and the
   kernels are interpreted bitline-by-bitline.  Slow, exact, and used by
-  the tests to pin the model path to the hardware path.
+  the tests to pin the other backends to the hardware path.
+- ``numpy``: the gold model vectorized over the whole batch, priced by
+  the same cost tables.
+
+Stateful backends (real subarrays) get one private instance per lane;
+pure backends share a single instance across every lane.  The legacy
+module attribute ``EXECUTION_MODES`` is kept for compatibility and now
+derives from :func:`repro.backends.available_backends`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
+from repro.backends import available_backends, get_backend
+from repro.backends.base import Backend
 from repro.core.engine import BPNTTEngine
-from repro.core.multiarray import BankedEngine
 from repro.errors import ParameterError
 from repro.ntt.params import get_params
-from repro.ntt.transform import ntt_negacyclic
 from repro.serve.batcher import PolyBatch
-from repro.serve.request import gold_result
-from repro.sram.cache import BankGeometry
+from repro.sram.cost import CostReport
 from repro.sram.energy import TECH_45NM, TechnologyModel
-from repro.sram.executor import ExecutionStats, profile_program
 
-Engine = Union[BPNTTEngine, BankedEngine]
 
-EXECUTION_MODES = ("model", "sram")
+def __getattr__(name: str):
+    # Legacy constant, now derived from the registry so newly registered
+    # backends appear without this module knowing their names.
+    if name == "EXECUTION_MODES":
+        return available_backends()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -47,9 +56,9 @@ class PoolConfig:
     """Shape of the pool.
 
     Attributes:
-        size: lanes (independent engines) per parameter set.
+        size: lanes (independent backend instances) per parameter set.
         subarrays: data subarrays ganged per lane (1 = a bare
-            :class:`BPNTTEngine`; more = a :class:`BankedEngine`).
+            subarray; more = a banked gang under one CTRL stream).
         rows / cols: subarray geometry.
         tech: technology model used for pricing and area.
     """
@@ -85,15 +94,26 @@ class ServiceProfile:
     def op(self) -> str:
         return self.key[1]
 
+    @classmethod
+    def from_cost(cls, key: tuple, cost: CostReport, capacity: int) -> "ServiceProfile":
+        """Wrap a backend's :class:`CostReport` with serving metadata."""
+        return cls(
+            key=key,
+            cycles=cost.cycles,
+            energy_nj=cost.energy_nj,
+            latency_s=cost.latency_s,
+            capacity=capacity,
+        )
+
 
 class EnginePool:
-    """Cached engines per parameter set, with round-robin lane dispatch."""
+    """Cached backends per parameter set, with round-robin lane dispatch."""
 
     def __init__(self, config: PoolConfig = PoolConfig()):
         self.config = config
         self._templates: Dict[str, BPNTTEngine] = {}
-        self._lanes: Dict[str, List[Engine]] = {}
-        self._profiles: Dict[tuple, ServiceProfile] = {}
+        self._lanes: Dict[Tuple[str, str], List[Backend]] = {}
+        self._profiles: Dict[Tuple[str, tuple], ServiceProfile] = {}
         self._rr: Dict[str, int] = {}
 
     # -- construction and caching ----------------------------------------
@@ -102,8 +122,8 @@ class EnginePool:
         """The pool's reference engine for a parameter set.
 
         Built lazily and kept for the life of the pool; it owns the
-        compiled-program cache the profiles are priced from.  (In sram
-        mode it also serves as lane 0.)
+        compiled-program cache every backend's profile is priced from.
+        (For single-subarray sram lanes it also serves as lane 0.)
         """
         if params_name not in self._templates:
             self._templates[params_name] = self._build_single(params_name)
@@ -117,39 +137,62 @@ class EnginePool:
             tech=self.config.tech,
         )
 
-    def _build_lane(self, params_name: str) -> Engine:
-        if self.config.subarrays == 1:
-            return self._build_single(params_name)
-        geometry = BankGeometry(
-            subarrays_per_bank=self.config.subarrays + 1,
+    def _create_backend(self, backend: str, params_name: str, *,
+                        share_template: bool) -> Backend:
+        factory = get_backend(backend)
+        return factory(
+            get_params(params_name),
             rows=self.config.rows,
             cols=self.config.cols,
-        )
-        return BankedEngine(
-            get_params(params_name), geometry=geometry, tech=self.config.tech
+            subarrays=self.config.subarrays,
+            tech=self.config.tech,
+            template=self.template(params_name) if share_template else None,
         )
 
-    def lanes(self, params_name: str) -> List[Engine]:
-        """All ``size`` engines for a parameter set (built on first use)."""
-        if params_name not in self._lanes:
-            lanes: List[Engine] = []
-            if self.config.subarrays == 1:
-                lanes.append(self.template(params_name))
-                while len(lanes) < self.config.size:
-                    lanes.append(self._build_single(params_name))
-            else:
-                while len(lanes) < self.config.size:
-                    lanes.append(self._build_lane(params_name))
-            self._lanes[params_name] = lanes
-        return self._lanes[params_name]
+    def backend_lanes(self, backend: str, params_name: str) -> List[Backend]:
+        """All ``size`` lane instances of one backend (built on first use).
+
+        Stateful backends get fresh instances for the remaining lanes;
+        pure backends are shared across all of them.
+        """
+        key = (backend, params_name)
+        if key not in self._lanes:
+            # Lane 0 is offered the pool's template so backends that can
+            # share its compiled-program cache do (model/numpy always;
+            # sram only at subarrays == 1 — a banked gang compiles its
+            # own, per-subarray, exactly as before this seam existed).
+            first = self._create_backend(backend, params_name, share_template=True)
+            stateful = first.capabilities().stateful
+            lanes: List[Backend] = [first]
+            while len(lanes) < self.config.size:
+                lanes.append(
+                    self._create_backend(backend, params_name, share_template=False)
+                    if stateful else first
+                )
+            self._lanes[key] = lanes
+        return self._lanes[key]
+
+    def lanes(self, params_name: str) -> List[Backend]:
+        """Back-compat alias: the interpreter (``sram``) lane engines."""
+        return self.backend_lanes("sram", params_name)
 
     @property
     def lane_count(self) -> int:
         return self.config.size
 
-    def capacity(self, key: tuple) -> int:
-        """Requests one invocation absorbs (all ganged subarrays)."""
-        return self.template(key[0]).batch * self.config.subarrays
+    def capacity(self, key: tuple, *, backend: Optional[str] = None) -> int:
+        """Requests one invocation absorbs (all ganged subarrays).
+
+        With ``backend`` given, the answer is capped by that backend's
+        own :meth:`~repro.backends.base.Backend.capabilities` — a
+        third-party backend may absorb less than the pool's template
+        geometry, and the batcher must plan to the smaller number.
+        """
+        base = self.template(key[0]).batch * self.config.subarrays
+        if backend is None:
+            return base
+        lane = self.backend_lanes(backend, key[0])[0]
+        return min(base, lane.capabilities().batch)
 
     def next_lane(self, params_name: str) -> int:
         """Round-robin lane index for the next batch of a parameter set."""
@@ -159,50 +202,43 @@ class EnginePool:
 
     # -- pricing -----------------------------------------------------------
 
-    def profile(self, key: tuple) -> ServiceProfile:
-        """The cached cycle/energy price of one invocation for ``key``."""
-        if key not in self._profiles:
+    def profile(self, key: tuple, *, backend: str = "model") -> ServiceProfile:
+        """The cached cycle/energy price of one invocation for ``key``.
+
+        Priced through ``Backend.profile`` and cached per (backend,
+        key): a backend with its own cost model gets its own numbers.
+        Backends that price identically — the built-ins do, asserted in
+        the tests — share one interned ``ServiceProfile`` object.
+        """
+        cache_key = (backend, key)
+        if cache_key not in self._profiles:
             params_name, op, operand = key
-            engine = self.template(params_name)
-            if op in ("ntt", "intt"):
-                stats = profile_program(engine.compiled_program(op), self.config.tech)
-            elif op == "polymul":
-                other_hat = ntt_negacyclic(
-                    list(operand), engine.params, engine.twiddle_table
-                )
-                stats = ExecutionStats.merge(
-                    profile_program(engine.compiled_program("ntt"), self.config.tech),
-                    profile_program(engine.pointwise_program(other_hat), self.config.tech),
-                    profile_program(engine.compiled_program("intt"), self.config.tech),
-                )
-            else:
-                raise ParameterError(f"unknown op {op!r}")
-            # Ganged subarrays run the same program concurrently: the
-            # latency is one subarray's, the energy multiplies.
-            self._profiles[key] = ServiceProfile(
-                key=key,
-                cycles=stats.cycles,
-                energy_nj=stats.energy_nj * self.config.subarrays,
-                latency_s=stats.latency_s(self.config.tech),
-                capacity=self.capacity(key),
+            lane = self.backend_lanes(backend, params_name)[0]
+            cost = lane.profile(lane.compile(op, operand))
+            profile = ServiceProfile.from_cost(
+                key, cost, self.capacity(key, backend=backend)
             )
-        return self._profiles[key]
+            for (_, other_key), existing in self._profiles.items():
+                if other_key == key and existing == profile:
+                    profile = existing
+                    break
+            self._profiles[cache_key] = profile
+        return self._profiles[cache_key]
 
     # -- serving -----------------------------------------------------------
 
-    def serve(self, batch: PolyBatch, *, mode: str = "model",
-              lane: Optional[int] = None) -> Tuple[List[List[int]], ServiceProfile, int]:
+    def serve(self, batch: PolyBatch, *, backend: Optional[str] = None,
+              lane: Optional[int] = None,
+              mode: Optional[str] = None) -> Tuple[List[List[int]], ServiceProfile, int]:
         """Serve one batch; returns (results, profile, lane index).
 
         ``results`` is one coefficient list per live request, in batch
-        order.  ``mode="sram"`` interprets the kernels on the lane's
-        subarray; ``mode="model"`` computes results from the gold
-        transforms.  Both charge the same profile.
+        order.  ``backend`` names any registered execution backend
+        (default ``"model"``); ``mode`` is the deprecated spelling of
+        the same knob.  All backends charge the same profile.
         """
-        if mode not in EXECUTION_MODES:
-            raise ParameterError(
-                f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
-            )
+        name = backend if backend is not None else (mode or "model")
+        get_backend(name)  # raises BackendError when the name is unknown
         params_name, op, operand = batch.key
         if lane is None:
             lane = self.next_lane(params_name)
@@ -210,22 +246,26 @@ class EnginePool:
             raise ParameterError(
                 f"lane {lane} out of range for pool size {self.config.size}"
             )
-        profile = self.profile(batch.key)
+        profile = self.profile(batch.key, backend=name)
         if batch.size > profile.capacity:
             raise ParameterError(
                 f"batch of {batch.size} exceeds invocation capacity "
                 f"{profile.capacity} for {params_name!r}"
             )
-        if mode == "model":
-            results = [gold_result(r) for r in batch.requests]
-        else:
-            engine = self.lanes(params_name)[lane]
-            engine.load(batch.payloads())
-            if op == "ntt":
-                engine.ntt()
-            elif op == "intt":
-                engine.intt()
-            else:
-                engine.polymul_with(list(operand))
-            results = engine.results()[: batch.size]
+        impl = self.backend_lanes(name, params_name)[lane]
+        caps = impl.capabilities()
+        if op not in caps.ops:
+            raise ParameterError(
+                f"backend {name!r} does not support op {op!r}; "
+                f"advertised ops: {caps.ops}"
+            )
+        # The profile already caps capacity to this backend's word; the
+        # re-check guards batches built outside the pool's batcher.
+        if batch.size > caps.batch:
+            raise ParameterError(
+                f"batch of {batch.size} exceeds backend {name!r} capacity "
+                f"{caps.batch} for {params_name!r}"
+            )
+        kernel = impl.compile(op, operand)
+        results = impl.execute(kernel, batch.payloads())
         return results, profile, lane

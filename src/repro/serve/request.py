@@ -24,11 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.backends.base import KERNEL_OPS
 from repro.errors import ParameterError
 from repro.ntt.params import NTTParams, get_params
 
-#: Operations the runtime understands.
-KERNEL_OPS = ("ntt", "intt", "polymul")
+__all__ = ["KERNEL_OPS", "Request", "Response", "gold_result",
+           "kyber_polymul_request", "dilithium_ntt_request",
+           "he_multiply_plain_requests"]
 
 
 def _canonical(coeffs: Sequence[int], params: NTTParams, label: str) -> Tuple[int, ...]:

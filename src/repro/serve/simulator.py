@@ -6,7 +6,8 @@ batcher).  Whichever comes first is processed; a batch dispatches the
 moment it fills or expires, and starts service as soon as its
 round-robin lane is free.  Service time and energy come from the
 pool's :class:`~repro.serve.pool.ServiceProfile` — i.e. from the
-cycle-accurate cost of the actual compiled programs — so queueing
+cycle-accurate cost of the actual compiled programs, whichever
+registered execution backend serves the batch — so queueing
 delay, service delay and energy-per-request are all grounded in the
 paper's latency model rather than in host wall-clock.
 
@@ -16,7 +17,7 @@ The replay is deterministic: same trace, same pool, same numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ParameterError
 from repro.serve.batcher import BatchPolicy, CoalescingBatcher, PolyBatch
@@ -29,10 +30,21 @@ class ServingSimulator:
     """Replays traces; accumulates nothing between :meth:`replay` calls."""
 
     def __init__(self, pool: EnginePool, policy: BatchPolicy = BatchPolicy(), *,
-                 mode: str = "model"):
+                 backend: Optional[str] = None, mode: Optional[str] = None):
         self.pool = pool
         self.policy = policy
-        self.mode = mode
+        # ``mode`` is the deprecated spelling of ``backend``; an explicit
+        # ``backend`` wins, matching EnginePool.serve's precedence.
+        self.backend = backend if backend is not None else (mode or "model")
+
+    @property
+    def mode(self) -> str:
+        """Deprecated alias for :attr:`backend`."""
+        return self.backend
+
+    @mode.setter
+    def mode(self, value: str) -> None:
+        self.backend = value
 
     def replay(self, requests: Sequence[Request]) -> ServeReport:
         """Serve a full trace; returns the aggregated report."""
@@ -43,14 +55,19 @@ class ServingSimulator:
                 raise ParameterError(f"duplicate request id {r.request_id}")
             seen.add(r.request_id)
 
-        batcher = CoalescingBatcher(self.policy, self.pool.capacity)
+        # Plan batch sizes against the serving backend's own capacity
+        # (a registered backend may absorb less than the pool template).
+        def capacity_of(key):
+            return self.pool.capacity(key, backend=self.backend)
+
+        batcher = CoalescingBatcher(self.policy, capacity_of)
         free_at: Dict[Tuple[str, int], float] = {}
         busy_s: Dict[Tuple[str, int], float] = {}
         responses: List[Response] = []
         batches: List[BatchRecord] = []
 
         def dispatch(batch: PolyBatch, now_s: float) -> None:
-            results, profile, lane = self.pool.serve(batch, mode=self.mode)
+            results, profile, lane = self.pool.serve(batch, backend=self.backend)
             lane_key = (profile.params_name, lane)
             start = max(now_s, free_at.get(lane_key, 0.0))
             finish = start + profile.latency_s

@@ -1,0 +1,87 @@
+"""The shared cycle/energy cost report every layer prices with.
+
+Before this module existed, each consumer of
+:class:`~repro.sram.executor.ExecutionStats` rederived the same
+quantities by hand: ``repro.serve.pool`` turned picojoules into
+nanojoules and cycles into seconds for its ``ServiceProfile``,
+``repro.core.engine`` did the identical arithmetic for ``NTTRunReport``,
+and ``repro.analysis.sweeps`` unpacked ad-hoc tuples.  A
+:class:`CostReport` is that derivation done once: an immutable snapshot
+of one priced kernel invocation, with the unit conversions as
+properties and the replication rule for ganged subarrays (energy
+scales, latency does not) as a method.
+
+It lives in the sram layer — below ``repro.core`` and
+``repro.backends`` — so both can import it without cycles; the
+``repro.backends`` package re-exports it as part of the backend
+protocol (``Backend.profile() -> CostReport``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sram.energy import TechnologyModel
+    from repro.sram.executor import ExecutionStats
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """The price of one kernel invocation on one execution substrate.
+
+    Attributes:
+        cycles: clock cycles of the (concurrently run) instruction
+            stream — flat under replication.
+        energy_pj: total energy in picojoules across all replicas.
+        latency_s: wall-clock seconds at the technology node's clock.
+        instructions: instructions executed across all replicas.
+        shift_count: `ShiftRow` operations across all replicas.
+        section_cycles: per-section cycle attribution (one replica's,
+            since replicas advance in lockstep).
+    """
+
+    cycles: int
+    energy_pj: float
+    latency_s: float
+    instructions: int = 0
+    shift_count: int = 0
+    section_cycles: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def energy_nj(self) -> float:
+        """Total energy in nanojoules."""
+        return self.energy_pj / 1000.0
+
+    def energy_per_item_nj(self, items: int) -> float:
+        """Energy split across ``items`` co-batched polynomials."""
+        return self.energy_nj / items
+
+    @classmethod
+    def from_stats(cls, stats: "ExecutionStats",
+                   tech: "TechnologyModel") -> "CostReport":
+        """Convert executor/profiler counters into a priced report."""
+        return cls(
+            cycles=stats.cycles,
+            energy_pj=stats.energy_pj,
+            latency_s=stats.latency_s(tech),
+            instructions=stats.instructions,
+            shift_count=stats.shift_count,
+            section_cycles=dict(stats.section_cycles),
+        )
+
+    def replicate(self, copies: int) -> "CostReport":
+        """The cost of ``copies`` subarrays running this program in
+        lockstep: energy, instructions and shifts multiply; cycles and
+        latency stay flat (the paper's ganged-subarray accounting)."""
+        if copies == 1:
+            return self
+        if copies < 1:
+            raise ValueError(f"copies must be >= 1, got {copies}")
+        return replace(
+            self,
+            energy_pj=self.energy_pj * copies,
+            instructions=self.instructions * copies,
+            shift_count=self.shift_count * copies,
+        )

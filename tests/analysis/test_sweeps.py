@@ -27,18 +27,18 @@ class TestCostModelAgreesWithExecutor:
         eng.load([[1] * 8] * eng.batch)
         report = eng.ntt()
         program = eng._get_program("ntt")
-        cycles, energy_pj, shifts = program_cost(program, TECH_45NM)
-        assert cycles == report.cycles
-        assert energy_pj == pytest.approx(report.energy_nj * 1000)
-        assert shifts == report.shift_count
+        cost = program_cost(program, TECH_45NM)
+        assert cost.cycles == report.cycles
+        assert cost.energy_pj == pytest.approx(report.energy_nj * 1000)
+        assert cost.shift_count == report.shift_count
 
     def test_spill_ntt(self):
         params = NTTParams(n=16, q=97)
         eng = BPNTTEngine(params, width=8, rows=16, cols=32)
         eng.load([[2] * 16] * eng.batch)
         report = eng.ntt()
-        cycles, _, shifts = program_cost(eng._get_program("ntt"), TECH_45NM)
-        assert (cycles, shifts) == (report.cycles, report.shift_count)
+        cost = program_cost(eng._get_program("ntt"), TECH_45NM)
+        assert (cost.cycles, cost.shift_count) == (report.cycles, report.shift_count)
 
 
 class TestFig8aShape:

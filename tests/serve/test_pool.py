@@ -104,9 +104,14 @@ class TestServe:
         results, _, _ = tiny_pool.serve(batch, mode="sram")
         assert len(results) == 1
 
-    def test_unknown_mode_rejected(self, tiny_pool, tiny_request):
+    def test_unknown_backend_rejected(self, tiny_pool, tiny_request):
         batch = make_batch(tiny_request, [0])
-        with pytest.raises(ParameterError, match="execution mode"):
+        with pytest.raises(ParameterError, match="unknown backend"):
+            tiny_pool.serve(batch, backend="hardware")
+
+    def test_unknown_legacy_mode_rejected(self, tiny_pool, tiny_request):
+        batch = make_batch(tiny_request, [0])
+        with pytest.raises(ParameterError, match="unknown backend"):
             tiny_pool.serve(batch, mode="hardware")
 
     def test_oversized_batch_rejected(self, tiny_pool, tiny_request):

@@ -9,7 +9,7 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for cmd in ("table1", "fig1", "fig6", "fig7", "fig8a", "fig8b",
-                    "verify", "breakdown", "scaling", "serve"):
+                    "verify", "breakdown", "scaling", "serve", "backends"):
             args = parser.parse_args([cmd] if cmd != "verify" else [cmd, "--trials", "1"])
             assert args.command == cmd
 
@@ -17,7 +17,7 @@ class TestParser:
         args = build_parser().parse_args(
             ["serve", "--scenario", "kyber", "--rate", "50", "--duration",
              "0.2", "--pool-size", "3", "--max-wait-ms", "1.5",
-             "--arrivals", "bursty", "--mode", "sram", "--max-batch", "4"]
+             "--arrivals", "bursty", "--backend", "sram", "--max-batch", "4"]
         )
         assert args.scenario == "kyber"
         assert args.rate == 50.0
@@ -25,16 +25,38 @@ class TestParser:
         assert args.pool_size == 3
         assert args.max_wait_ms == 1.5
         assert args.arrivals == "bursty"
-        assert args.mode == "sram"
+        assert args.backend == "sram"
         assert args.max_batch == 4
+
+    def test_serve_mode_is_backend_alias(self):
+        args = build_parser().parse_args(["serve", "--mode", "sram"])
+        assert args.backend == "sram"
+
+    def test_serve_backend_choices_track_registry(self):
+        from repro.backends import available_backends
+
+        for name in available_backends():
+            args = build_parser().parse_args(["serve", "--backend", name])
+            assert args.backend == name
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "hardware"])
 
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert args.scenario == "mixed"
         assert args.rate == 200.0
         assert args.duration == 1.0
-        assert args.mode == "model"
+        assert args.backend == "model"
         assert args.max_batch is None
+
+    def test_verify_backend_flag(self):
+        args = build_parser().parse_args(["verify", "--backend", "sram"])
+        assert args.backend == "sram"
+
+    def test_verify_numpy_backend_flag(self):
+        pytest.importorskip("numpy")
+        args = build_parser().parse_args(["verify", "--backend", "numpy"])
+        assert args.backend == "numpy"
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -73,3 +95,22 @@ class TestCheapCommands:
         assert "p50(ms)" in out and "p99(ms)" in out
         assert "engine utilization" in out
         assert "scenario=ntt" in out
+        assert "backend=model" in out
+
+    def test_serve_numpy_backend(self, capsys):
+        pytest.importorskip("numpy")
+        main(["serve", "--scenario", "ntt", "--rate", "400", "--duration",
+              "0.05", "--pool-size", "1", "--seed", "5", "--backend", "numpy"])
+        out = capsys.readouterr().out
+        assert "backend=numpy" in out
+        assert "p99(ms)" in out
+
+    def test_backends_listing(self, capsys):
+        from repro.backends import available_backends
+
+        main(["backends"])
+        out = capsys.readouterr().out
+        for name in available_backends():
+            assert name in out
+        assert "model" in out and "sram" in out
+        assert "description" in out
