@@ -1,0 +1,138 @@
+"""Scheduler-policy benchmark: the bursty mixed-tenant shootout.
+
+Replays one seeded bursty ``mixed-slo`` trace (Kyber handshakes,
+Dilithium signing, HE analytics — each with its own tenant and latency
+SLO) through every built-in scheduler:
+
+- ``fifo`` at three fixed coalescing windows (0.5 / 2 / 8 ms), the
+  PR 1 baseline sweep: short windows buy tail latency with energy,
+  long windows the reverse, and per-parameter lanes strand idle
+  capacity while another tenant's burst queues.
+- ``slo`` with per-tenant weights and a queue limit: bounded queues,
+  deadline-driven dispatch, explicit drops.
+- ``adaptive`` anchored at the *best* fixed window (8 ms base,
+  pressure-widened 4x, global lanes): the headline result, asserted
+  below — it must match or beat the best fixed setting on **both**
+  p99 latency and energy per request.  It does so by keeping the best
+  window's batch composition (identical energy) while the shared lane
+  pool absorbs each tenant's burst into the other tenants' idle
+  subarrays (roughly half the p99).
+
+Run as a script for the table (``--quick`` for a CI-sized smoke trace
+without the saturation assertions), or under pytest for the asserted
+full run: ``pytest benchmarks/bench_sched_policies.py -s``.
+"""
+
+import argparse
+from typing import Dict
+
+from repro.serve import (
+    BatchPolicy,
+    EnginePool,
+    PoolConfig,
+    ServingSimulator,
+    bursty_trace,
+)
+
+SCENARIO = "mixed-slo"
+RATE = 6000.0
+DURATION_S = 0.25
+QUICK_DURATION_S = 0.05
+SEED = 42
+FIXED_WAITS_MS = (0.5, 2.0, 8.0)
+TENANT_WEIGHTS = {"handshake": 3.0, "signing": 2.0, "analytics": 1.0}
+QUEUE_LIMIT = 256
+
+
+def run_policies(duration_s: float) -> Dict[str, object]:
+    """Replay the trace under every policy; returns name -> ServeReport."""
+    trace = bursty_trace(SCENARIO, RATE, duration_s, seed=SEED)
+    pool = EnginePool(PoolConfig(size=2))
+    reports = {}
+    for wait_ms in FIXED_WAITS_MS:
+        simulator = ServingSimulator(pool, BatchPolicy(max_wait_s=wait_ms * 1e-3))
+        reports[f"fifo w={wait_ms:g}ms"] = simulator.replay(trace)
+    best_wait_s = max(FIXED_WAITS_MS) * 1e-3
+    reports["slo"] = ServingSimulator(
+        pool, BatchPolicy(max_wait_s=2e-3), scheduler="slo",
+        scheduler_options=dict(queue_limit=QUEUE_LIMIT,
+                               tenant_weights=TENANT_WEIGHTS),
+    ).replay(trace)
+    reports["adaptive"] = ServingSimulator(
+        pool, BatchPolicy(max_wait_s=best_wait_s), scheduler="adaptive",
+    ).replay(trace)
+    return reports
+
+
+def format_table(reports) -> str:
+    header = (
+        f"{'Policy':<14} {'Served':>6} {'Drops':>5} {'p50(ms)':>8} "
+        f"{'p99(ms)':>8} {'E/req(nJ)':>10} {'Occup':>6} {'Attain':>7} {'MaxQ':>5}"
+    )
+    lines = [
+        f"{SCENARIO} bursty trace, {RATE:g} calls/s, seed {SEED}, "
+        f"pool=2 lanes/params",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    for name, report in reports.items():
+        overall = report.overall
+        lines.append(
+            f"{name:<14} {report.count:>6} {len(report.drops):>5} "
+            f"{overall.p50_ms:>8.3f} {overall.p99_ms:>8.3f} "
+            f"{overall.energy_per_request_nj:>10.2f} "
+            f"{report.mean_occupancy:>6.1%} {report.slo_attainment:>7.1%} "
+            f"{report.max_queue_depth:>5}"
+        )
+    return "\n".join(lines)
+
+
+def assert_adaptive_dominates(reports) -> None:
+    """The acceptance bar: adaptive >= every fixed window on both axes."""
+    fixed = [r for name, r in reports.items() if name.startswith("fifo")]
+    best_p99 = min(r.overall.p99_ms for r in fixed)
+    best_energy = min(r.overall.energy_per_request_nj for r in fixed)
+    adaptive = reports["adaptive"].overall
+    assert adaptive.p99_ms <= best_p99, (
+        f"adaptive p99 {adaptive.p99_ms:.3f} ms worse than best fixed "
+        f"{best_p99:.3f} ms"
+    )
+    assert adaptive.energy_per_request_nj <= best_energy, (
+        f"adaptive energy {adaptive.energy_per_request_nj:.2f} nJ/req worse "
+        f"than best fixed {best_energy:.2f}"
+    )
+
+
+def test_sched_policies(artifact_writer):
+    reports = run_policies(DURATION_S)
+    artifact_writer("sched_policies", format_table(reports))
+    assert_adaptive_dominates(reports)
+    # The SLO run must be loss-accounted: everything offered is either
+    # served or in the drop set, and the drop set is deterministic.
+    slo = reports["slo"]
+    trace_len = len(bursty_trace(SCENARIO, RATE, DURATION_S, seed=SEED))
+    assert slo.count + len(slo.drops) == trace_len
+    # Deadlines were real: attainment is measured, not vacuous.
+    assert any(r.request.deadline_s is not None for r in slo.responses)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: short trace, no saturation asserts")
+    args = parser.parse_args()
+    duration = QUICK_DURATION_S if args.quick else DURATION_S
+    reports = run_policies(duration)
+    print(format_table(reports))
+    if not args.quick:
+        # The short smoke trace has too few bursts to saturate the
+        # lanes, so the domination claim is only asserted on the full
+        # trace (and in the pytest entry point above).
+        assert_adaptive_dominates(reports)
+        print("\nadaptive matches/beats the best fixed window on p99 AND "
+              "energy per request")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,7 +4,10 @@ The registry is the seam the rest of the codebase dispatches through:
 ``repro.serve.pool`` resolves its execution mode here, the CLI derives
 its ``--backend`` choices from :func:`available_backends`, and third
 parties extend the system by registering a factory under a new name —
-no layer above this module hardcodes the set of substrates.
+no layer above this module hardcodes the set of substrates.  The
+mechanics (validation, lazy specs, listing) live in the shared
+:class:`repro.registry.FactoryRegistry`, which
+:mod:`repro.sched.registry` builds on too.
 
 A *factory* is any callable with the uniform construction signature::
 
@@ -19,13 +22,12 @@ backend with an optional dependency stays cheap to register).
 
 from __future__ import annotations
 
-import importlib
-from typing import Callable, Dict, Tuple, Union
+from typing import Callable, Tuple, Union
 
 from repro.errors import BackendError
+from repro.registry import FactoryRegistry
 
-#: name -> factory callable, or a "module:attr" string resolved lazily.
-_REGISTRY: Dict[str, Union[str, Callable]] = {}
+_REGISTRY = FactoryRegistry("backend", BackendError)
 
 
 def register_backend(name: str, factory: Union[str, Callable], *,
@@ -38,52 +40,22 @@ def register_backend(name: str, factory: Union[str, Callable], *,
     ``replace=True`` (duplicate registrations are almost always two
     modules fighting over a name).
     """
-    if not name or not isinstance(name, str):
-        raise BackendError(f"backend name must be a non-empty string, got {name!r}")
-    if name in _REGISTRY and not replace:
-        raise BackendError(
-            f"backend {name!r} is already registered; pass replace=True to override"
-        )
-    if isinstance(factory, str):
-        if ":" not in factory:
-            raise BackendError(
-                f"lazy backend spec must look like 'module.path:attribute', "
-                f"got {factory!r}"
-            )
-    elif not callable(factory):
-        raise BackendError(f"backend factory must be callable, got {factory!r}")
-    _REGISTRY[name] = factory
+    _REGISTRY.register(name, factory, replace=replace)
 
 
 def unregister_backend(name: str) -> None:
     """Remove a backend (no-op when absent); used by tests and plugins."""
-    _REGISTRY.pop(name, None)
+    _REGISTRY.unregister(name)
 
 
 def get_backend(name: str) -> Callable:
     """The factory registered under ``name`` (resolving lazy specs)."""
-    try:
-        spec = _REGISTRY[name]
-    except KeyError:
-        raise BackendError(
-            f"unknown backend {name!r}; available: "
-            f"{', '.join(available_backends()) or '(none)'}"
-        ) from None
-    if isinstance(spec, str):
-        module_name, _, attribute = spec.partition(":")
-        try:
-            spec = getattr(importlib.import_module(module_name), attribute)
-        except (ImportError, AttributeError) as error:
-            raise BackendError(
-                f"backend {name!r} failed to load from {module_name}:{attribute}: {error}"
-            ) from error
-        _REGISTRY[name] = spec
-    return spec
+    return _REGISTRY.get(name)
 
 
 def available_backends() -> Tuple[str, ...]:
     """Registered backend names, sorted (the CLI's ``--backend`` choices)."""
-    return tuple(sorted(_REGISTRY))
+    return _REGISTRY.available()
 
 
 def create_backend(name: str, params, **kwargs):

@@ -14,7 +14,10 @@ Usage::
     python -m repro.cli backends          # registered execution backends
 
 ``serve`` and ``verify`` accept ``--backend <name>`` to pick any
-execution backend registered in :mod:`repro.backends`.
+execution backend registered in :mod:`repro.backends`; ``serve`` also
+accepts ``--scheduler <name>`` (any scheduler registered in
+:mod:`repro.sched`) plus ``--slo-ms`` / ``--queue-limit`` for the
+SLO-aware policies.
 
 All output goes to stdout; the heavy targets (table1, serve with HE
 traffic) run the cycle-level simulator or compile large programs and
@@ -144,12 +147,39 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         if not trace:
             print("trace is empty; raise --rate or --duration")
             sys.exit(1)
+        if args.slo_ms is not None:
+            if args.slo_ms <= 0:
+                # A non-positive budget would silently shed 100% of the
+                # load as deadline_unmet; reject it like the scheduler
+                # knobs reject their misconfigurations.
+                print(f"error: --slo-ms must be > 0, got {args.slo_ms:g}",
+                      file=sys.stderr)
+                sys.exit(2)
+            # A uniform latency budget for requests that carry none;
+            # scenario-declared SLOs (mixed-slo) keep their own.
+            import dataclasses
+
+            trace = [
+                r if r.deadline_s is not None else dataclasses.replace(
+                    r, deadline_s=r.arrival_s + args.slo_ms * 1e-3
+                )
+                for r in trace
+            ]
         pool = EnginePool(PoolConfig(size=args.pool_size, subarrays=args.subarrays))
         policy = BatchPolicy(
             max_wait_s=args.max_wait_ms * 1e-3,
             max_batch=args.max_batch,
         )
-        simulator = ServingSimulator(pool, policy, backend=args.backend)
+        # Forward --queue-limit only when the user set it: the slo
+        # scheduler consumes it, any other scheduler rejects it loudly
+        # (a silent no-op would fake a bounded queue).
+        scheduler_options = {}
+        if args.queue_limit is not None:
+            scheduler_options["queue_limit"] = args.queue_limit
+        simulator = ServingSimulator(
+            pool, policy, backend=args.backend,
+            scheduler=args.scheduler, scheduler_options=scheduler_options,
+        )
         report = simulator.replay(trace)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -158,7 +188,8 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         f"scenario={args.scenario} arrivals={args.arrivals} "
         f"rate={args.rate:g}/s duration={args.duration:g}s "
         f"pool={args.pool_size}x{args.subarrays} "
-        f"max-wait={args.max_wait_ms:g}ms backend={args.backend}"
+        f"max-wait={args.max_wait_ms:g}ms backend={args.backend} "
+        f"scheduler={args.scheduler}"
     )
     print()
     print(format_serve_report(report))
@@ -195,8 +226,10 @@ _COMMANDS = {
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     from repro.backends import available_backends
+    from repro.sched import available_schedulers
 
     backend_names = available_backends()
+    scheduler_names = available_schedulers()
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="Regenerate BP-NTT paper artifacts from the reproduction.",
@@ -228,6 +261,20 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=backend_names, default="model",
                              help="execution backend (see `repro.cli backends`); "
                                   "--mode is the deprecated spelling")
+            cmd.add_argument("--scheduler", choices=scheduler_names,
+                             default="fifo",
+                             help="serving scheduler: fifo (fixed window, "
+                                  "per-parameter lanes), slo (admission + "
+                                  "deadlines + tenant fairness), adaptive "
+                                  "(load-aware window, shared lanes)")
+            cmd.add_argument("--slo-ms", type=float, default=None,
+                             help="uniform latency budget (ms) for requests "
+                                  "without a scenario-declared deadline")
+            cmd.add_argument("--queue-limit", type=int, default=None,
+                             help="slo scheduler: max waiting requests "
+                                  "before admission drops (scheduler "
+                                  "default 64); rejected by schedulers "
+                                  "that never drop")
             cmd.add_argument("--seed", type=int, default=2023)
             continue
         if name == "backends":

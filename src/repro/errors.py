@@ -42,5 +42,15 @@ class BackendError(ParameterError):
     """
 
 
+class SchedulerError(ParameterError):
+    """A serving scheduler is unknown, already registered, or misconfigured.
+
+    Subclasses :class:`ParameterError` for the same reason
+    :class:`BackendError` does: a bad scheduler name or config is a
+    configuration mistake, and callers guarding serve calls with
+    ``except ParameterError`` keep working unchanged.
+    """
+
+
 class VerificationError(ReproError):
     """An in-SRAM result disagrees with the gold (software) model."""

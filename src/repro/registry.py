@@ -1,0 +1,88 @@
+"""The generic string-keyed factory registry behind the plugin seams.
+
+Two subsystems expose the same extension idiom — execution backends
+(:mod:`repro.backends.registry`) and serving schedulers
+(:mod:`repro.sched.registry`): factories registered under names, lazy
+``"module.path:attribute"`` specs resolved on first use, and a sorted
+name listing the CLI derives its choices from.  This module holds the
+one implementation both wrap, parameterized by the kind of thing being
+registered and the error class to raise, so a fix to spec resolution
+or validation reaches every seam.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, Tuple, Type, Union
+
+
+class FactoryRegistry:
+    """Name -> factory (or lazy ``"module:attr"`` spec) with validation.
+
+    ``kind`` names the registered thing in error messages ("backend",
+    "scheduler"); ``error`` is the exception class raised for every
+    misuse, so each seam keeps its own catchable error type.
+    """
+
+    def __init__(self, kind: str, error: Type[Exception]):
+        self.kind = kind
+        self.error = error
+        self._entries: Dict[str, Union[str, Callable]] = {}
+
+    def register(self, name: str, factory: Union[str, Callable], *,
+                 replace: bool = False) -> None:
+        """Register ``factory`` under ``name`` (see module docs).
+
+        Registering an existing name raises unless ``replace=True``
+        (duplicate registrations are almost always two modules fighting
+        over a name).
+        """
+        if not name or not isinstance(name, str):
+            raise self.error(
+                f"{self.kind} name must be a non-empty string, got {name!r}"
+            )
+        if name in self._entries and not replace:
+            raise self.error(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass replace=True to override"
+            )
+        if isinstance(factory, str):
+            if ":" not in factory:
+                raise self.error(
+                    f"lazy {self.kind} spec must look like "
+                    f"'module.path:attribute', got {factory!r}"
+                )
+        elif not callable(factory):
+            raise self.error(
+                f"{self.kind} factory must be callable, got {factory!r}"
+            )
+        self._entries[name] = factory
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (no-op when absent); used by tests and plugins."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under ``name`` (resolving lazy specs)."""
+        try:
+            spec = self._entries[name]
+        except KeyError:
+            raise self.error(
+                f"unknown {self.kind} {name!r}; available: "
+                f"{', '.join(self.available()) or '(none)'}"
+            ) from None
+        if isinstance(spec, str):
+            module_name, _, attribute = spec.partition(":")
+            try:
+                spec = getattr(importlib.import_module(module_name), attribute)
+            except (ImportError, AttributeError) as error:
+                raise self.error(
+                    f"{self.kind} {name!r} failed to load from "
+                    f"{module_name}:{attribute}: {error}"
+                ) from error
+            self._entries[name] = spec
+        return spec
+
+    def available(self) -> Tuple[str, ...]:
+        """Registered names, sorted (the CLI derives choices from this)."""
+        return tuple(sorted(self._entries))

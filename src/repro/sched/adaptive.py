@@ -1,0 +1,202 @@
+"""Load-aware batching: the coalescing window follows queue pressure.
+
+The fixed-window trade is visible in ``bench_serve_latency``: short
+windows buy tail latency at 3-4x the energy per request (batches
+dispatch nearly empty), long windows buy occupancy at the cost of p99.
+The ``adaptive`` scheduler refuses the trade by moving the window with
+load:
+
+- **Pressure-scaled window.**  The effective max-wait interpolates
+  between ``min_wait_s`` and ``max_wait_s`` with the number of queued
+  requests: an idle system dispatches quickly, a backlogged one holds
+  batches open until they fill — which is exactly when company is
+  plentiful, so the wider window costs little extra latency and wins
+  occupancy (fewer invocations, less lane time, shorter queues, lower
+  p99 *and* lower energy under burst).
+- **Idle-lane early dispatch.**  The pressure window only governs
+  batches that have no lane to run on — waiting is free when every
+  lane is busy.  The moment a lane idles, an open batch claims it if
+  it is at least ``idle_fill`` full (nearly-full: padding cost is
+  marginal) or has already coalesced for ``min_wait_s`` (a straggler:
+  more waiting buys little company but pays full latency).  Fresh,
+  nearly-empty batches keep waiting, which bounds the energy cost.
+
+Lanes are the global shared pool (:class:`~repro.sched.base.
+GlobalLanePool`), so "a lane is idle" means *any* subarray gang in the
+system, not just the batch's own parameter set — idle Kyber capacity
+absorbs a Dilithium burst.
+
+Defaults anchor on the policy's fixed window: ``min_wait_s =
+policy.max_wait_s`` (the operator's declared latency tolerance is the
+*base* window) and ``max_wait_s = 4x`` that (the pressure-widened
+cap), with ``idle_fill = 1.0`` — on the paper's small per-invocation
+capacities (3-9 requests) a fractional fill floor rounds up to "full"
+for most keys anyway, so fill-based early dispatch is opt-in.
+``benchmarks/bench_sched_policies.py`` shows the result on the bursty
+mixed-tenant trace: energy per request identical to the best fixed
+window, p99 cut by roughly a third.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.errors import SchedulerError
+from repro.sched.base import GlobalLanePool, LaneReport, Placement
+from repro.serve.batcher import BatchPolicy, CoalescingBatcher, PolyBatch
+from repro.serve.request import Request
+
+
+class AdaptiveScheduler:
+    """Pressure-scaled windows with idle-lane early dispatch."""
+
+    name = "adaptive"
+
+    def __init__(self, pool, policy: BatchPolicy, *, backend: str = "model",
+                 min_wait_s: Optional[float] = None,
+                 max_wait_s: Optional[float] = None,
+                 pressure: int = 16, idle_fill: float = 1.0, **options):
+        if options:
+            raise SchedulerError(
+                f"adaptive scheduler got unknown options {sorted(options)}; "
+                "known: min_wait_s, max_wait_s, pressure, idle_fill"
+            )
+        base = policy.max_wait_s
+        if base == float("inf") and (min_wait_s is None or max_wait_s is None):
+            raise SchedulerError(
+                "adaptive scheduler needs finite windows; give min_wait_s "
+                "and max_wait_s explicitly when policy.max_wait_s is inf"
+            )
+        self.min_wait_s = base if min_wait_s is None else min_wait_s
+        self.max_wait_s = base * 4 if max_wait_s is None else max_wait_s
+        if not 0 <= self.min_wait_s <= self.max_wait_s:
+            raise SchedulerError(
+                f"need 0 <= min_wait_s <= max_wait_s, got "
+                f"{self.min_wait_s} .. {self.max_wait_s}"
+            )
+        if pressure < 1:
+            raise SchedulerError(f"pressure must be >= 1, got {pressure}")
+        if not 0 < idle_fill <= 1:
+            raise SchedulerError(f"idle_fill must be in (0, 1], got {idle_fill}")
+        self.pool = pool
+        self.policy = policy
+        self.backend = backend
+        self.pressure = pressure
+        self.idle_fill = idle_fill
+        self._lanes = GlobalLanePool(pool.lane_count)
+        self._batcher = CoalescingBatcher(
+            policy,
+            lambda key: pool.capacity(key, backend=backend),
+            id_factory=itertools.count().__next__,
+        )
+        self._now = 0.0
+
+    # -- the load-scaled window -------------------------------------------
+
+    def window_s(self) -> float:
+        """Effective max-wait at the current queue depth."""
+        fraction = min(1.0, len(self._batcher) / self.pressure)
+        return self.min_wait_s + (self.max_wait_s - self.min_wait_s) * fraction
+
+    def _deadline_s(self, batch: PolyBatch) -> float:
+        return batch.oldest_arrival_s + self.window_s()
+
+    def _eligible_at_s(self, batch: PolyBatch) -> float:
+        """Earliest instant the batch may claim an idle lane."""
+        if batch.size >= self.idle_fill * batch.capacity:
+            return 0.0  # nearly full: any idle lane, immediately
+        return batch.oldest_arrival_s + self.min_wait_s
+
+    def _eligible(self, batch: PolyBatch, now_s: float) -> bool:
+        """Worth an idle lane right now: nearly full, or a straggler.
+
+        Must share ``_eligible_at_s``'s exact arithmetic: the event loop
+        wakes at that instant and re-checks with this predicate, so any
+        float divergence between the two would stall the replay.
+        """
+        return now_s >= self._eligible_at_s(batch)
+
+    # -- admission and queueing -------------------------------------------
+
+    def admit(self, request: Request, now_s: float) -> Optional[str]:
+        return None  # adaptive shapes batches, never drops
+
+    def enqueue(self, request: Request, now_s: float) -> List[PolyBatch]:
+        self._now = now_s
+        self._lanes.ensure(request.params_name)
+        full = self._batcher.add(request)
+        if full is not None:
+            return [full]
+        # Early dispatch happens in poll(), never here: arrivals at one
+        # instant must all coalesce before an idle lane may claim the
+        # batch (the event loop gives arrivals priority on time ties,
+        # and next_event_s fires a wake-up at this same instant).
+        return []
+
+    def waiting(self) -> int:
+        return len(self._batcher)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def next_event_s(self) -> float:
+        open_items = self._batcher.open_items()
+        if not open_items:
+            return float("inf")
+        earliest_free = self._lanes.earliest_free_s()
+        candidates = []
+        for _, batch in open_items:
+            # The pressure window is the fallback; the early-dispatch
+            # moment is when the batch becomes lane-worthy AND a lane
+            # is free (earliest_free is in the past when one is idle
+            # already — the max() then lands on the eligibility time,
+            # i.e. right after all same-instant arrivals coalesce).
+            candidates.append(min(
+                self._deadline_s(batch),
+                max(self._eligible_at_s(batch), earliest_free),
+            ))
+        # Never schedule into the past: a window that shrank below the
+        # current instant dispatches at the current instant.
+        return max(min(candidates), self._now)
+
+    def poll(self, now_s: float) -> List[PolyBatch]:
+        self._now = now_s
+        out: List[PolyBatch] = []
+        changed = True
+        while changed:
+            changed = False
+            # Window expiries first (the window re-shrinks as the queue
+            # drains, so re-check until stable)...
+            for group, batch in self._oldest_first():
+                if self._deadline_s(batch) <= now_s:
+                    out.append(self._batcher.pop(group))
+                    changed = True
+            # ...then early dispatch: one eligible batch (oldest first)
+            # per lane still idle once the batches above claim theirs.
+            spare = self._lanes.idle_count(now_s) - len(out)
+            eligible = [
+                group for group, batch in self._oldest_first()
+                if self._eligible(batch, now_s)
+            ]
+            for group in eligible[:max(0, spare)]:
+                out.append(self._batcher.pop(group))
+                changed = True
+        return out
+
+    def flush(self, now_s: float) -> List[PolyBatch]:
+        self._now = now_s
+        return [self._batcher.pop(group) for group, _ in self._oldest_first()]
+
+    def _oldest_first(self) -> List[tuple]:
+        return sorted(self._batcher.open_items(),
+                      key=lambda item: (item[1].oldest_arrival_s,
+                                        item[1].batch_id))
+
+    # -- placement ---------------------------------------------------------
+
+    def place(self, batch: PolyBatch, now_s: float) -> Placement:
+        latency = self.pool.profile(batch.key, backend=self.backend).latency_s
+        return self._lanes.placement(batch.key[0], now_s, latency)
+
+    def lane_report(self) -> LaneReport:
+        return self._lanes.report()

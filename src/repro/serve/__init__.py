@@ -14,7 +14,10 @@ This package supplies the missing layer between the two:
   parameter set (resolved through the :mod:`repro.backends` registry)
   with round-robin dispatch and compiled-program reuse.
 - :mod:`repro.serve.simulator` — a discrete-event replay of a request
-  trace, pricing every batch with the cycle-accurate latency model.
+  trace, pricing every batch with the cycle-accurate latency model;
+  every admit/dispatch/placement decision is delegated to a
+  :mod:`repro.sched` scheduler (``scheduler="fifo"|"slo"|"adaptive"``
+  or any registered name).
 - :mod:`repro.serve.workload` — synthetic traffic generators (Poisson,
   bursty, mixed crypto scenarios).
 - :mod:`repro.serve.metrics` — per-request latency aggregation and the
@@ -22,7 +25,12 @@ This package supplies the missing layer between the two:
 """
 
 from repro.serve.batcher import BatchPolicy, CoalescingBatcher, PolyBatch
-from repro.serve.metrics import ServeReport, format_serve_report
+from repro.serve.metrics import (
+    DropRecord,
+    ServeReport,
+    TenantStats,
+    format_serve_report,
+)
 from repro.serve.pool import EnginePool, PoolConfig
 from repro.serve.request import (
     Request,
@@ -38,6 +46,7 @@ from repro.serve.workload import SCENARIOS, bursty_trace, poisson_trace
 __all__ = [
     "BatchPolicy",
     "CoalescingBatcher",
+    "DropRecord",
     "EnginePool",
     "PolyBatch",
     "PoolConfig",
@@ -46,6 +55,7 @@ __all__ = [
     "SCENARIOS",
     "ServeReport",
     "ServingSimulator",
+    "TenantStats",
     "bursty_trace",
     "dilithium_ntt_request",
     "format_serve_report",

@@ -106,16 +106,27 @@ class PolyBatch:
 
 
 class CoalescingBatcher:
-    """Groups arriving requests into per-key open batches.
+    """Groups arriving requests into per-group open batches.
 
     ``capacity_of`` maps a batch key to the engine capacity for that
     parameter set (the pool provides it), letting the batcher size
-    batches without owning any engine state.
+    batches without owning any engine state.  ``group_of`` picks the
+    coalescing granularity: by default requests sharing a batch key
+    share a batch, but a scheduler may split further (e.g. per tenant
+    *and* key, so fairness accounting stays single-tenant) — every
+    group's requests must still share one batch key.
     """
 
-    def __init__(self, policy: BatchPolicy, capacity_of: Callable[[tuple], int]):
+    def __init__(self, policy: BatchPolicy, capacity_of: Callable[[tuple], int],
+                 *, id_factory: Optional[Callable[[], int]] = None,
+                 group_of: Optional[Callable[[Request], tuple]] = None):
+        # ``id_factory`` overrides the module-global batch-id counter;
+        # schedulers pass a per-replay counter so two replays of the
+        # same trace produce byte-identical reports.
         self.policy = policy
         self.capacity_of = capacity_of
+        self._id_factory = id_factory or (lambda: next(_batch_ids))
+        self._group_of = group_of or (lambda request: request.batch_key)
         self._open: Dict[tuple, PolyBatch] = {}
 
     def __len__(self) -> int:
@@ -124,15 +135,31 @@ class CoalescingBatcher:
 
     def add(self, request: Request) -> Optional[PolyBatch]:
         """Admit one request; returns the batch if this filled it."""
-        key = request.batch_key
-        batch = self._open.get(key)
+        group = self._group_of(request)
+        batch = self._open.get(group)
         if batch is None:
-            capacity = self.policy.effective_capacity(self.capacity_of(key))
-            batch = self._open[key] = PolyBatch(key=key, capacity=capacity)
+            capacity = self.policy.effective_capacity(
+                self.capacity_of(request.batch_key)
+            )
+            batch = PolyBatch(key=request.batch_key, capacity=capacity,
+                              batch_id=self._id_factory())
+            self._open[group] = batch
         batch.add(request)
         if batch.full:
-            return self._open.pop(key)
+            return self._open.pop(group)
         return None
+
+    def open_items(self) -> List[tuple]:
+        """The (group, batch) pairs currently open, insertion-ordered.
+
+        Schedulers with their own dispatch rules (deadlines, pressure
+        windows) iterate this and :meth:`pop` what they close.
+        """
+        return list(self._open.items())
+
+    def pop(self, group: tuple) -> PolyBatch:
+        """Close and return one open batch by its group."""
+        return self._open.pop(group)
 
     def next_deadline_s(self) -> float:
         """Earliest max-wait expiry among open batches (inf when idle)."""

@@ -2,16 +2,19 @@
 
 Per-request latencies aggregate into the numbers a serving system is
 judged by: tail percentiles (nearest-rank p50/p95/p99), throughput,
-engine utilization, batch occupancy and energy per request.  The text
-report follows the fixed-width style of
+engine utilization, batch occupancy and energy per request — plus,
+since schedulers arrived (``repro.sched``), the overload numbers: the
+drop set and drop rate, SLO attainment against per-request deadlines,
+per-tenant breakdowns, and the queue-depth timeline.  The text report
+follows the fixed-width style of
 :func:`repro.analysis.tables.format_table1` so serve output sits next
 to the paper artifacts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ParameterError
 from repro.serve.request import Response
@@ -38,6 +41,23 @@ class BatchRecord:
 
 
 @dataclass(frozen=True)
+class DropRecord:
+    """One request the scheduler refused, and why.
+
+    ``had_deadline`` records whether the request carried an SLO — a
+    shed deadline request counts as a *missed* SLO in attainment, so
+    dropping all the deadline traffic cannot read as 100% attainment.
+    """
+
+    request_id: int
+    tenant: str
+    kind: str
+    arrival_s: float
+    reason: str
+    had_deadline: bool = False
+
+
+@dataclass(frozen=True)
 class KindStats:
     """Latency/energy aggregate for one traffic kind."""
 
@@ -53,6 +73,24 @@ class KindStats:
 
 
 @dataclass(frozen=True)
+class TenantStats:
+    """Serving outcome for one tenant: volume, drops, tail, attainment."""
+
+    tenant: str
+    offered: int
+    served: int
+    dropped: int
+    mean_ms: float
+    p99_ms: float
+    slo_attainment: float
+    energy_per_request_nj: float
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+@dataclass(frozen=True)
 class ServeReport:
     """Everything :class:`~repro.serve.simulator.ServingSimulator` measured."""
 
@@ -65,10 +103,41 @@ class ServeReport:
     padding_fraction: float
     total_energy_nj: float
     by_kind: List[KindStats]
+    drops: List[DropRecord] = field(default_factory=list)
+    by_tenant: List[TenantStats] = field(default_factory=list)
+    queue_depth: List[Tuple[float, int]] = field(default_factory=list)
+    scheduler: str = "fifo"
 
     @property
     def count(self) -> int:
         return len(self.responses)
+
+    @property
+    def offered(self) -> int:
+        """Requests the trace presented: served plus dropped."""
+        return len(self.responses) + len(self.drops)
+
+    @property
+    def drop_rate(self) -> float:
+        return len(self.drops) / self.offered if self.offered else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of deadline-carrying requests that finished on time.
+
+        Dropped deadline requests count as misses (shed load is not
+        met load).  ``1.0`` when no request carried a deadline.
+        """
+        served = [r for r in self.responses if r.request.deadline_s is not None]
+        offered = len(served) + sum(1 for d in self.drops if d.had_deadline)
+        if not offered:
+            return 1.0
+        met = sum(1 for r in served if r.finish_s <= r.request.deadline_s)
+        return met / offered
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max((depth for _, depth in self.queue_depth), default=0)
 
     @property
     def overall(self) -> KindStats:
@@ -102,19 +171,69 @@ def _kind_stats(kind: str, responses: Sequence[Response]) -> KindStats:
     )
 
 
+def _tenant_stats(tenant: str, responses: Sequence[Response],
+                  drops: Sequence[DropRecord]) -> TenantStats:
+    served = len(responses)
+    dropped = len(drops)
+    latencies_ms = [r.latency_s * 1e3 for r in responses]
+    with_deadline = [r for r in responses if r.request.deadline_s is not None]
+    offered_deadlines = len(with_deadline) + sum(
+        1 for d in drops if d.had_deadline
+    )
+    if offered_deadlines:
+        attainment = sum(
+            1 for r in with_deadline if r.finish_s <= r.request.deadline_s
+        ) / offered_deadlines
+    else:
+        attainment = 1.0
+    return TenantStats(
+        tenant=tenant,
+        offered=served + dropped,
+        served=served,
+        dropped=dropped,
+        mean_ms=sum(latencies_ms) / served if served else 0.0,
+        p99_ms=percentile(latencies_ms, 99) if served else 0.0,
+        slo_attainment=attainment,
+        energy_per_request_nj=(
+            sum(r.energy_nj for r in responses) / served if served else 0.0
+        ),
+    )
+
+
 def aggregate(responses: List[Response], batches: List[BatchRecord], *,
-              total_lanes: int, busy_s: float) -> ServeReport:
+              total_lanes: int, busy_s: float,
+              drops: Sequence[DropRecord] = (),
+              queue_depth: Sequence[Tuple[float, int]] = (),
+              scheduler: str = "fifo") -> ServeReport:
     """Roll a replay's raw records up into a :class:`ServeReport`."""
-    if not responses:
+    drops = list(drops)
+    if not responses and not drops:
         raise ParameterError("cannot aggregate an empty replay")
-    first_arrival = min(r.request.arrival_s for r in responses)
-    last_finish = max(r.finish_s for r in responses)
+    if responses:
+        first_arrival = min(r.request.arrival_s for r in responses)
+        last_finish = max(r.finish_s for r in responses)
+    else:
+        # Everything was dropped: the span is the drop window.
+        first_arrival = min(d.arrival_s for d in drops)
+        last_finish = max(d.arrival_s for d in drops)
     span = max(last_finish - first_arrival, 1e-12)
     kinds: Dict[str, List[Response]] = {}
     for r in responses:
         kinds.setdefault(r.request.kind, []).append(r)
     by_kind = [_kind_stats(kind, rs) for kind, rs in sorted(kinds.items())]
-    by_kind.append(_kind_stats("all", responses))
+    by_kind.append(
+        _kind_stats("all", responses) if responses
+        else KindStats("all", 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    )
+    tenants: Dict[str, Tuple[List[Response], List[DropRecord]]] = {}
+    for r in responses:
+        tenants.setdefault(r.request.tenant, ([], []))[0].append(r)
+    for d in drops:
+        tenants.setdefault(d.tenant, ([], []))[1].append(d)
+    by_tenant = [
+        _tenant_stats(tenant, rs, ds)
+        for tenant, (rs, ds) in sorted(tenants.items())
+    ]
     padded_slots = sum(b.capacity - b.size for b in batches)
     total_slots = sum(b.capacity for b in batches)
     return ServeReport(
@@ -123,10 +242,16 @@ def aggregate(responses: List[Response], batches: List[BatchRecord], *,
         span_s=span,
         throughput_rps=len(responses) / span,
         utilization=busy_s / (total_lanes * span),
-        mean_occupancy=sum(b.occupancy for b in batches) / len(batches),
-        padding_fraction=padded_slots / total_slots,
+        mean_occupancy=(
+            sum(b.occupancy for b in batches) / len(batches) if batches else 0.0
+        ),
+        padding_fraction=padded_slots / total_slots if total_slots else 0.0,
         total_energy_nj=sum(b.energy_nj for b in batches),
         by_kind=by_kind,
+        drops=drops,
+        by_tenant=by_tenant,
+        queue_depth=list(queue_depth),
+        scheduler=scheduler,
     )
 
 
@@ -157,4 +282,25 @@ def format_serve_report(report: ServeReport) -> str:
         f"engine utilization {report.utilization:.1%}  total energy "
         f"{report.total_energy_nj / 1e3:.2f} uJ"
     )
+    has_deadlines = any(r.request.deadline_s is not None for r in report.responses)
+    if report.drops or has_deadlines:
+        lines.append("")
+        lines.append(
+            f"scheduler {report.scheduler}: dropped {len(report.drops)}/"
+            f"{report.offered} ({report.drop_rate:.1%})  "
+            f"SLO attainment {report.slo_attainment:.1%}  "
+            f"max queue depth {report.max_queue_depth}"
+        )
+        tenant_header = (
+            f"{'Tenant':<12} {'Offered':>7} {'Served':>6} {'Dropped':>7} "
+            f"{'Mean(ms)':>9} {'p99(ms)':>8} {'Attain':>7} {'E/req(nJ)':>10}"
+        )
+        lines.append(tenant_header)
+        lines.append("-" * len(tenant_header))
+        for t in report.by_tenant:
+            lines.append(
+                f"{t.tenant:<12} {t.offered:>7} {t.served:>6} {t.dropped:>7} "
+                f"{t.mean_ms:>9.3f} {t.p99_ms:>8.3f} {t.slo_attainment:>7.1%} "
+                f"{t.energy_per_request_nj:>10.2f}"
+            )
     return "\n".join(lines)

@@ -30,6 +30,7 @@ derives from :func:`repro.backends.available_backends`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -41,6 +42,14 @@ from repro.ntt.params import get_params
 from repro.serve.batcher import PolyBatch
 from repro.sram.cost import CostReport
 from repro.sram.energy import TECH_45NM, TechnologyModel
+
+
+#: Shared deprecation text for the legacy ``mode=`` spelling of
+#: ``backend=`` (EnginePool.serve, ServingSimulator).
+MODE_DEPRECATION = (
+    "the mode= argument is deprecated, use backend=; "
+    "mode= will be removed in a future release"
+)
 
 
 def __getattr__(name: str):
@@ -235,8 +244,11 @@ class EnginePool:
         ``results`` is one coefficient list per live request, in batch
         order.  ``backend`` names any registered execution backend
         (default ``"model"``); ``mode`` is the deprecated spelling of
-        the same knob.  All backends charge the same profile.
+        the same knob (it warns, and an explicit ``backend`` wins).
+        All backends charge the same profile.
         """
+        if mode is not None:
+            warnings.warn(MODE_DEPRECATION, DeprecationWarning, stacklevel=2)
         name = backend if backend is not None else (mode or "model")
         get_backend(name)  # raises BackendError when the name is unknown
         params_name, op, operand = batch.key

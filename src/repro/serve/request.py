@@ -56,6 +56,13 @@ class Request:
         arrival_s: arrival time in seconds from trace start.
         kind: traffic label for reporting (e.g. ``"kyber"``); defaults
             to the op name.
+        tenant: the client the request bills to; schedulers with
+            per-tenant fairness (``repro.sched``) queue and account by
+            this label.  Defaults to ``kind``.
+        deadline_s: absolute completion deadline (trace clock), or
+            ``None`` for best-effort.  SLO-aware schedulers drop
+            requests that cannot meet it and reports measure attainment
+            against it; the fifo scheduler ignores it.
     """
 
     request_id: int
@@ -65,6 +72,8 @@ class Request:
     operand: Optional[Tuple[int, ...]] = None
     arrival_s: float = 0.0
     kind: str = ""
+    tenant: str = ""
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.op not in KERNEL_OPS:
@@ -83,6 +92,8 @@ class Request:
             raise ParameterError(f"{self.op} requests take no second operand")
         if not self.kind:
             object.__setattr__(self, "kind", self.op)
+        if not self.tenant:
+            object.__setattr__(self, "tenant", self.kind)
 
     @property
     def params(self) -> NTTParams:

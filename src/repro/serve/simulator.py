@@ -1,28 +1,32 @@
 """Discrete-event replay of a request trace against an engine pool.
 
-The simulator owns the clock.  Two event sources advance it: request
-arrivals (from the trace) and batch max-wait expiries (from the
-batcher).  Whichever comes first is processed; a batch dispatches the
-moment it fills or expires, and starts service as soon as its
-round-robin lane is free.  Service time and energy come from the
-pool's :class:`~repro.serve.pool.ServiceProfile` — i.e. from the
+The simulator owns the clock and the bookkeeping; every *decision* —
+admit or drop, when a batch closes, which lane runs it — is delegated
+to a :mod:`repro.sched` scheduler.  Two event sources advance the
+clock: request arrivals (from the trace) and scheduler wake-ups
+(batch-window expiries, lanes coming free).  Whichever comes first is
+processed.  Service time and energy come from the pool's
+:class:`~repro.serve.pool.ServiceProfile` — i.e. from the
 cycle-accurate cost of the actual compiled programs, whichever
-registered execution backend serves the batch — so queueing
-delay, service delay and energy-per-request are all grounded in the
-paper's latency model rather than in host wall-clock.
+registered execution backend serves the batch — so queueing delay,
+service delay and energy-per-request are all grounded in the paper's
+latency model rather than in host wall-clock.
 
-The replay is deterministic: same trace, same pool, same numbers.
+The replay is deterministic: same trace, same pool, same scheduler
+config, byte-identical report — including the drop set, per-tenant
+stats and queue-depth timeline.  A fresh scheduler instance is built
+per replay, so nothing accumulates between calls.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ParameterError
-from repro.serve.batcher import BatchPolicy, CoalescingBatcher, PolyBatch
-from repro.serve.metrics import BatchRecord, ServeReport, aggregate
-from repro.serve.pool import EnginePool
+from repro.serve.batcher import BatchPolicy, PolyBatch
+from repro.serve.metrics import BatchRecord, DropRecord, ServeReport, aggregate
+from repro.serve.pool import MODE_DEPRECATION, EnginePool
 from repro.serve.request import Request, Response
 
 
@@ -30,21 +34,43 @@ class ServingSimulator:
     """Replays traces; accumulates nothing between :meth:`replay` calls."""
 
     def __init__(self, pool: EnginePool, policy: BatchPolicy = BatchPolicy(), *,
-                 backend: Optional[str] = None, mode: Optional[str] = None):
+                 backend: Optional[str] = None, mode: Optional[str] = None,
+                 scheduler: Union[str, Callable] = "fifo",
+                 scheduler_options: Optional[Dict[str, Any]] = None):
+        if mode is not None:
+            warnings.warn(MODE_DEPRECATION, DeprecationWarning, stacklevel=2)
         self.pool = pool
         self.policy = policy
         # ``mode`` is the deprecated spelling of ``backend``; an explicit
         # ``backend`` wins, matching EnginePool.serve's precedence.
         self.backend = backend if backend is not None else (mode or "model")
+        self.scheduler = scheduler
+        self.scheduler_options = dict(scheduler_options or {})
 
     @property
     def mode(self) -> str:
         """Deprecated alias for :attr:`backend`."""
+        warnings.warn(MODE_DEPRECATION, DeprecationWarning, stacklevel=2)
         return self.backend
 
     @mode.setter
     def mode(self, value: str) -> None:
+        warnings.warn(MODE_DEPRECATION, DeprecationWarning, stacklevel=2)
         self.backend = value
+
+    def _make_scheduler(self):
+        """A fresh scheduler per replay (schedulers hold queue state)."""
+        if isinstance(self.scheduler, str):
+            from repro.sched.registry import create_scheduler
+
+            return create_scheduler(
+                self.scheduler, self.pool, self.policy,
+                backend=self.backend, **self.scheduler_options,
+            )
+        return self.scheduler(
+            self.pool, self.policy,
+            backend=self.backend, **self.scheduler_options,
+        )
 
     def replay(self, requests: Sequence[Request]) -> ServeReport:
         """Serve a full trace; returns the aggregated report."""
@@ -55,24 +81,26 @@ class ServingSimulator:
                 raise ParameterError(f"duplicate request id {r.request_id}")
             seen.add(r.request_id)
 
-        # Plan batch sizes against the serving backend's own capacity
-        # (a registered backend may absorb less than the pool template).
-        def capacity_of(key):
-            return self.pool.capacity(key, backend=self.backend)
-
-        batcher = CoalescingBatcher(self.policy, capacity_of)
-        free_at: Dict[Tuple[str, int], float] = {}
-        busy_s: Dict[Tuple[str, int], float] = {}
+        scheduler = self._make_scheduler()
         responses: List[Response] = []
         batches: List[BatchRecord] = []
+        drops: List[DropRecord] = []
+        timeline: List[Tuple[float, int]] = []
+
+        def record_depth(now_s: float) -> None:
+            depth = scheduler.waiting()
+            if timeline and timeline[-1][0] == now_s:
+                timeline[-1] = (now_s, depth)
+            else:
+                timeline.append((now_s, depth))
 
         def dispatch(batch: PolyBatch, now_s: float) -> None:
-            results, profile, lane = self.pool.serve(batch, backend=self.backend)
-            lane_key = (profile.params_name, lane)
-            start = max(now_s, free_at.get(lane_key, 0.0))
+            placement = scheduler.place(batch, now_s)
+            results, profile, _ = self.pool.serve(
+                batch, backend=self.backend, lane=placement.pool_lane
+            )
+            start = placement.start_s
             finish = start + profile.latency_s
-            free_at[lane_key] = finish
-            busy_s[lane_key] = busy_s.get(lane_key, 0.0) + profile.latency_s
             energy_per_request = profile.energy_nj / batch.size
             # Padding/occupancy are physical: the invocation runs all
             # profile.capacity slots even when the policy caps the batch
@@ -86,7 +114,7 @@ class ServingSimulator:
                         start_s=start,
                         finish_s=finish,
                         energy_nj=energy_per_request,
-                        engine_index=lane,
+                        engine_index=placement.lane,
                         batch_size=batch.size,
                         batch_padding=physical_padding,
                     )
@@ -100,36 +128,53 @@ class ServingSimulator:
                     dispatched_s=now_s,
                     start_s=start,
                     finish_s=finish,
-                    lane=lane,
+                    lane=placement.lane,
                     energy_nj=profile.energy_nj,
                 )
             )
 
         index = 0
-        while index < len(trace) or len(batcher):
+        while index < len(trace) or scheduler.waiting():
             next_arrival = trace[index].arrival_s if index < len(trace) else float("inf")
-            deadline = batcher.next_deadline_s()
-            if index < len(trace) and next_arrival <= deadline:
+            wakeup = scheduler.next_event_s()
+            if index < len(trace) and next_arrival <= wakeup:
                 request = trace[index]
                 index += 1
-                full = batcher.add(request)
-                if full is not None:
-                    dispatch(full, request.arrival_s)
-            elif deadline != float("inf"):
-                for expired in batcher.take_expired(deadline):
-                    dispatch(expired, deadline)
+                reason = scheduler.admit(request, request.arrival_s)
+                if reason is not None:
+                    drops.append(
+                        DropRecord(
+                            request_id=request.request_id,
+                            tenant=request.tenant,
+                            kind=request.kind,
+                            arrival_s=request.arrival_s,
+                            reason=reason,
+                            had_deadline=request.deadline_s is not None,
+                        )
+                    )
+                else:
+                    for batch in scheduler.enqueue(request, request.arrival_s):
+                        dispatch(batch, request.arrival_s)
+                record_depth(request.arrival_s)
+            elif wakeup != float("inf"):
+                for batch in scheduler.poll(wakeup):
+                    dispatch(batch, wakeup)
+                record_depth(wakeup)
             else:
-                # Trace exhausted and the policy's max-wait is infinite:
-                # nothing will ever expire, so drain at end of input.
+                # Trace exhausted and the scheduler has no wake-up of its
+                # own (e.g. an infinite max-wait): drain at end of input.
                 end_s = trace[-1].arrival_s
-                for batch in batcher.drain():
+                for batch in scheduler.flush(end_s):
                     dispatch(batch, end_s)
+                record_depth(end_s)
 
-        lanes_used = {name for name, _ in free_at} or set()
-        total_lanes = self.pool.lane_count * max(1, len(lanes_used))
+        lanes = scheduler.lane_report()
         return aggregate(
             responses,
             batches,
-            total_lanes=total_lanes,
-            busy_s=sum(busy_s.values()),
+            total_lanes=lanes.total_lanes,
+            busy_s=lanes.busy_s,
+            drops=drops,
+            queue_depth=timeline,
+            scheduler=getattr(scheduler, "name", str(self.scheduler)),
         )

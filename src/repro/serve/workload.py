@@ -18,6 +18,10 @@ Scenario mixes (weights sum to 1):
   ciphertext components per logical client call).
 - ``mixed``      — 45% Kyber, 35% Dilithium, 20% HE: a PQC-dominated
   front door with an HE aggregation tenant.
+- ``mixed-slo``  — the same mix with tenants and latency SLOs attached:
+  ``handshake`` (Kyber, 4 ms), ``signing`` (Dilithium, 8 ms) and
+  ``analytics`` (HE, 25 ms).  The trace the SLO-aware schedulers in
+  :mod:`repro.sched` are judged on.
 
 ``polymul`` operands draw from a small per-scenario pool of fixed
 polynomials (public keys / plaintext operands are long-lived in real
@@ -46,6 +50,8 @@ class MixComponent:
     weight: float
     operand_pool: int = 0   # fixed polymul operands to rotate through
     requests_per_call: int = 1  # e.g. 2 for HE (two ciphertext components)
+    tenant: str = ""        # billing/fairness label; defaults to ``kind``
+    slo_ms: Optional[float] = None  # per-request latency budget (deadline)
 
 
 @dataclass(frozen=True)
@@ -82,6 +88,14 @@ SCENARIOS: Dict[str, Scenario] = {
         MixComponent("dilithium", "ntt", "dilithium", 0.35),
         MixComponent("he", "polymul", "he-16bit", 0.20, operand_pool=1,
                      requests_per_call=2),
+    )),
+    "mixed-slo": Scenario("mixed-slo", (
+        MixComponent("kyber", "polymul", "kyber-v1", 0.45, operand_pool=2,
+                     tenant="handshake", slo_ms=4.0),
+        MixComponent("dilithium", "ntt", "dilithium", 0.35,
+                     tenant="signing", slo_ms=8.0),
+        MixComponent("he", "polymul", "he-16bit", 0.20, operand_pool=1,
+                     requests_per_call=2, tenant="analytics", slo_ms=25.0),
     )),
 }
 
@@ -127,6 +141,11 @@ def _materialize(scenario: Scenario, arrivals: List[float],
                     operand=operand,
                     arrival_s=arrival,
                     kind=c.kind,
+                    tenant=c.tenant or c.kind,
+                    deadline_s=(
+                        None if c.slo_ms is None
+                        else arrival + c.slo_ms * 1e-3
+                    ),
                 )
             )
             next_id += 1

@@ -43,3 +43,9 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "homomorphic sum verified" in out
         assert "plaintext-weighted aggregate verified" in out
+
+    def test_multi_tenant_slo(self, capsys):
+        run_example("multi_tenant_slo")
+        out = capsys.readouterr().out
+        assert "every request actually served finished inside its SLO" in out
+        assert "the drop set is deterministic" in out

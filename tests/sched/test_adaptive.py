@@ -1,0 +1,159 @@
+"""Adaptive scheduler: pressure-scaled windows, early dispatch, sharing."""
+
+import pytest
+
+from repro.ntt.params import STANDARD_PARAMS, NTTParams
+from repro.sched import create_scheduler
+from repro.serve import BatchPolicy, EnginePool, PoolConfig, ServingSimulator
+
+WAIT_S = 1e-3  # adaptive defaults anchor here: base 1 ms, cap 4 ms
+
+
+def adaptive_sim(pool, **options):
+    return ServingSimulator(
+        pool, BatchPolicy(max_wait_s=WAIT_S),
+        scheduler="adaptive", scheduler_options=options,
+    )
+
+
+class TestWindowScaling:
+    def test_defaults_derive_from_policy(self, tiny_pool):
+        # The policy's window is the base; the cap widens it 4x.
+        scheduler = create_scheduler(
+            "adaptive", tiny_pool, BatchPolicy(max_wait_s=2e-3)
+        )
+        assert scheduler.min_wait_s == pytest.approx(2e-3)
+        assert scheduler.max_wait_s == pytest.approx(8e-3)
+        assert scheduler.idle_fill == 1.0
+
+    def test_window_widens_with_queue_depth(self, tiny_pool, tiny_request):
+        scheduler = create_scheduler(
+            "adaptive", tiny_pool, BatchPolicy(max_wait_s=WAIT_S),
+            pressure=4, idle_fill=1.0,
+        )
+        assert scheduler.window_s() == pytest.approx(scheduler.min_wait_s)
+        # Two queued requests: halfway up the pressure ramp.
+        scheduler.enqueue(tiny_request(0), 0.0)
+        scheduler.enqueue(tiny_request(1), 0.0)
+        midpoint = (scheduler.min_wait_s + scheduler.max_wait_s) / 2
+        assert scheduler.window_s() == pytest.approx(midpoint)
+
+    def test_saturated_queue_pins_window_at_max(self, tiny_pool, tiny_request):
+        scheduler = create_scheduler(
+            "adaptive", tiny_pool, BatchPolicy(max_wait_s=WAIT_S),
+            pressure=2, idle_fill=1.0,
+        )
+        scheduler.enqueue(tiny_request(0), 0.0)
+        scheduler.enqueue(tiny_request(1), 0.0)
+        scheduler.enqueue(tiny_request(2), 0.0)
+        assert scheduler.window_s() == pytest.approx(scheduler.max_wait_s)
+
+
+class TestEarlyDispatch:
+    def test_half_full_batch_takes_idle_lane(self, tiny_pool, tiny_request):
+        # Capacity 4 with idle_fill 0.5 opted in: the second request
+        # makes the batch eligible and a lane is idle, so it dispatches
+        # on arrival — no window wait at all.
+        trace = [tiny_request(0), tiny_request(1, arrival_s=1e-5)]
+        report = adaptive_sim(tiny_pool, idle_fill=0.5).replay(trace)
+        (batch,) = report.batches
+        assert batch.size == 2
+        assert batch.dispatched_s == pytest.approx(1e-5)
+
+    def test_straggler_dispatches_at_base_window_when_idle(self, tiny_pool,
+                                                           tiny_request):
+        # A lone request can never fill its batch; with lanes idle it
+        # goes out once it has coalesced for the base window — the
+        # pressure-widened deadline never applies to it.
+        report = adaptive_sim(tiny_pool).replay([tiny_request(0, arrival_s=0.1)])
+        (batch,) = report.batches
+        assert batch.dispatched_s == pytest.approx(0.1 + WAIT_S)
+
+    def test_full_batch_dispatches_immediately(self, tiny_pool, tiny_request):
+        trace = [tiny_request(i, arrival_s=0.2) for i in range(4)]
+        report = adaptive_sim(tiny_pool).replay(trace)
+        (batch,) = report.batches
+        assert batch.size == 4
+        assert batch.dispatched_s == pytest.approx(0.2)
+
+    def test_eligible_batch_woken_when_lane_frees(self, tiny_name, tiny_request):
+        # One lane.  A full batch occupies it; a half-full batch becomes
+        # eligible while the lane is busy and must dispatch the moment
+        # the lane frees — far before its own window expires.
+        pool = EnginePool(PoolConfig(size=1, rows=32, cols=32))
+        latency = pool.profile(tiny_request(0).batch_key).latency_s
+        trace = [tiny_request(i) for i in range(4)] + [
+            tiny_request(4, arrival_s=latency / 10),
+            tiny_request(5, arrival_s=latency / 10),
+        ]
+        report = adaptive_sim(pool, idle_fill=0.5).replay(trace)
+        assert len(report.batches) == 2
+        second = report.batches[1]
+        assert second.size == 2
+        assert second.dispatched_s == pytest.approx(latency)
+        assert second.start_s == pytest.approx(latency)
+
+
+class TestCrossParameterSharing:
+    SECOND_NAME = "tiny-sched-test-2"
+
+    @pytest.fixture
+    def second_ring(self):
+        STANDARD_PARAMS[self.SECOND_NAME] = NTTParams(
+            n=16, q=193, name="tiny sched ring 2"
+        )
+        yield self.SECOND_NAME
+        STANDARD_PARAMS.pop(self.SECOND_NAME, None)
+
+    def test_burst_borrows_foreign_idle_lane(self, tiny_name, tiny_request,
+                                             second_ring):
+        # One lane per parameter set.  Ring 2's arrival opens a second
+        # global lane; ring 1's second full batch borrows it instead of
+        # queueing behind its own — both batches start at t=0.
+        from repro.serve.request import Request
+
+        pool = EnginePool(PoolConfig(size=1, rows=32, cols=32))
+        trace = [tiny_request(i) for i in range(4)]
+        trace.append(Request(request_id=5, op="ntt",
+                             params_name=second_ring,
+                             payload=tuple(range(16))))
+        trace += [tiny_request(10 + i) for i in range(4)]
+        report = adaptive_sim(pool).replay(trace)
+        ring1 = [b for b in report.batches if b.key[0] == tiny_name]
+        assert [b.size for b in ring1] == [4, 4]
+        assert {b.lane for b in ring1} == {0, 1}
+        assert all(b.start_s == 0.0 for b in ring1)
+
+    def test_fifo_same_trace_queues_instead(self, tiny_name, tiny_request,
+                                            second_ring):
+        from repro.serve.request import Request
+
+        pool = EnginePool(PoolConfig(size=1, rows=32, cols=32))
+        latency = pool.profile(tiny_request(0).batch_key).latency_s
+        trace = [tiny_request(i) for i in range(4)]
+        trace.append(Request(request_id=5, op="ntt",
+                             params_name=second_ring,
+                             payload=tuple(range(16))))
+        trace += [tiny_request(10 + i) for i in range(4)]
+        report = ServingSimulator(
+            pool, BatchPolicy(max_wait_s=WAIT_S)
+        ).replay(trace)
+        ring1 = [b for b in report.batches if b.key[0] == tiny_name]
+        # Per-parameter lanes: the second batch waits a full service.
+        assert sorted(b.start_s for b in ring1)[1] == pytest.approx(latency)
+
+
+class TestBehaviorContracts:
+    def test_never_drops(self, tiny_pool, tiny_request):
+        trace = [tiny_request(i, arrival_s=i * 1e-5) for i in range(25)]
+        report = adaptive_sim(tiny_pool).replay(trace)
+        assert report.drops == [] and report.count == 25
+
+    def test_report_is_byte_identical(self, tiny_pool, tiny_request):
+        trace = [tiny_request(i, arrival_s=i * 7e-5) for i in range(13)]
+        sim = adaptive_sim(tiny_pool)
+        assert repr(sim.replay(trace)) == repr(sim.replay(trace))
+
+    def test_scheduler_name_in_report(self, tiny_pool, tiny_request):
+        report = adaptive_sim(tiny_pool).replay([tiny_request(0)])
+        assert report.scheduler == "adaptive"

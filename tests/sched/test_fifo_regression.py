@@ -1,0 +1,110 @@
+"""The fifo scheduler must reproduce the pre-scheduler simulator exactly.
+
+The golden numbers below were captured from the PR 1/PR 2 simulator
+(commit ``ac8462e``, before scheduling was extracted into
+``repro.sched``) on fixed seeded traces.  ``scheduler="fifo"`` — the
+default — must keep producing them bit-for-bit: same finish times, same
+lane assignments, same energy, same utilization.  If a change to the
+sched/serve layers moves any of these, that change altered the
+semantics of the default path, not just its structure.
+"""
+
+import pytest
+
+from repro.serve import (
+    BatchPolicy,
+    EnginePool,
+    PoolConfig,
+    ServingSimulator,
+    bursty_trace,
+    poisson_trace,
+)
+
+# Golden values captured from the pre-sched simulator (see module docs).
+TINY_FINISHES = (
+    [0.0009012884210526315] * 4
+    + [0.0021012884210526313] * 4
+    + [0.0034012884210526313] * 3
+)
+TINY_LANES = [0, 1, 0]
+TINY_DISPATCHED = [0.0009, 0.0021, 0.0034]
+TINY_ENERGY_NJ = 3.311520000000079
+TINY_UTILIZATION = 0.000568205732564502
+TINY_THROUGHPUT = 3234.0685758709396
+TINY_OCCUPANCY = 0.9166666666666666
+
+KYBER_GOLDEN = dict(
+    requests=98, p50_ms=2.1689510526315683, p99_ms=2.1689731578947438,
+    mean_ms=1.8044140348417885, energy_per_request_nj=91.69123134691334,
+    total_energy_nj=8985.740671997495, batches=62,
+    utilization=0.02090065490869703, occupancy=0.17562724014336903,
+)
+
+MIXED_GOLDEN = dict(
+    p50_ms=2.120865263157898, p99_ms=3.308021052631588,
+    mean_ms=2.0793733484468455, energy_per_request_nj=203.6194522474646,
+    total_energy_nj=19954.706320251527, batches=62,
+    utilization=0.016600021197922293, occupancy=0.31612903225806427,
+)
+
+
+class TestTinyTrace:
+    def test_tiny_trace_bit_identical(self, tiny_pool, tiny_request):
+        simulator = ServingSimulator(tiny_pool, BatchPolicy(max_wait_s=1e-3))
+        trace = [tiny_request(i, arrival_s=i * 3e-4) for i in range(11)]
+        report = simulator.replay(trace)
+        assert [r.finish_s for r in report.responses] == TINY_FINISHES
+        assert [b.lane for b in report.batches] == TINY_LANES
+        assert [b.dispatched_s for b in report.batches] == TINY_DISPATCHED
+        assert report.total_energy_nj == TINY_ENERGY_NJ
+        assert report.utilization == TINY_UTILIZATION
+        assert report.throughput_rps == TINY_THROUGHPUT
+        assert report.mean_occupancy == TINY_OCCUPANCY
+
+    def test_explicit_fifo_equals_default(self, tiny_pool, tiny_request):
+        trace = [tiny_request(i, arrival_s=i * 3e-4) for i in range(11)]
+        default = ServingSimulator(tiny_pool, BatchPolicy(max_wait_s=1e-3))
+        explicit = ServingSimulator(
+            tiny_pool, BatchPolicy(max_wait_s=1e-3), scheduler="fifo"
+        )
+        assert repr(default.replay(trace)) == repr(explicit.replay(trace))
+
+
+class TestStandardTraces:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        return EnginePool(PoolConfig(size=2))
+
+    def test_kyber_poisson_golden(self, pool):
+        trace = poisson_trace("kyber", 400.0, 0.25, seed=11)
+        assert len(trace) == KYBER_GOLDEN["requests"]
+        report = ServingSimulator(pool, BatchPolicy(max_wait_s=2e-3)).replay(trace)
+        overall = report.overall
+        assert overall.p50_ms == KYBER_GOLDEN["p50_ms"]
+        assert overall.p99_ms == KYBER_GOLDEN["p99_ms"]
+        assert overall.mean_ms == KYBER_GOLDEN["mean_ms"]
+        assert overall.energy_per_request_nj == KYBER_GOLDEN["energy_per_request_nj"]
+        assert report.total_energy_nj == KYBER_GOLDEN["total_energy_nj"]
+        assert len(report.batches) == KYBER_GOLDEN["batches"]
+        assert report.utilization == KYBER_GOLDEN["utilization"]
+        assert report.mean_occupancy == KYBER_GOLDEN["occupancy"]
+
+    def test_mixed_bursty_golden(self, pool):
+        trace = bursty_trace("mixed", 300.0, 0.25, seed=7)
+        report = ServingSimulator(pool, BatchPolicy(max_wait_s=2e-3)).replay(trace)
+        overall = report.overall
+        assert overall.p50_ms == MIXED_GOLDEN["p50_ms"]
+        assert overall.p99_ms == MIXED_GOLDEN["p99_ms"]
+        assert overall.mean_ms == MIXED_GOLDEN["mean_ms"]
+        assert overall.energy_per_request_nj == MIXED_GOLDEN["energy_per_request_nj"]
+        assert report.total_energy_nj == MIXED_GOLDEN["total_energy_nj"]
+        assert len(report.batches) == MIXED_GOLDEN["batches"]
+        assert report.utilization == MIXED_GOLDEN["utilization"]
+        assert report.mean_occupancy == MIXED_GOLDEN["occupancy"]
+
+    def test_fifo_never_drops_and_ignores_deadlines(self, pool):
+        trace = bursty_trace("mixed-slo", 600.0, 0.1, seed=3)
+        report = ServingSimulator(pool, BatchPolicy(max_wait_s=2e-3)).replay(trace)
+        assert report.drops == []
+        assert report.drop_rate == 0.0
+        assert report.count == len(trace)

@@ -109,18 +109,22 @@ class TestDerivedModes:
 
     def test_legacy_mode_keyword_still_serves(self, tiny_pool, tiny_request):
         batch = make_batch(tiny_request, [0, 1], "ntt")
-        results, _, _ = tiny_pool.serve(batch, mode="sram")
+        with pytest.warns(DeprecationWarning):
+            results, _, _ = tiny_pool.serve(batch, mode="sram")
         for request, result in zip(batch.requests, results):
             assert list(result) == gold_result(request)
 
     def test_explicit_backend_wins_over_mode_everywhere(self, tiny_pool):
         from repro.serve import BatchPolicy, ServingSimulator
 
-        simulator = ServingSimulator(tiny_pool, BatchPolicy(),
-                                     backend="model", mode="sram")
+        with pytest.warns(DeprecationWarning):
+            simulator = ServingSimulator(tiny_pool, BatchPolicy(),
+                                         backend="model", mode="sram")
         assert simulator.backend == "model"
-        assert simulator.mode == "model"
-        simulator.mode = "sram"  # deprecated attribute stays writable
+        with pytest.warns(DeprecationWarning):
+            assert simulator.mode == "model"
+        with pytest.warns(DeprecationWarning):
+            simulator.mode = "sram"  # deprecated attribute stays writable
         assert simulator.backend == "sram"
 
 

@@ -113,3 +113,61 @@ class TestCoalescing:
         assert batcher.add(tiny_request(0)) is None
         full = batcher.add(tiny_request(1))
         assert full is not None and full.capacity == 2
+
+
+class TestEdgeCases:
+    def test_simultaneous_expiry_ties_pop_together(self, batcher, tiny_request):
+        # Two keys opened at the same arrival instant expire at the same
+        # deadline; one take_expired pops both, in insertion order.
+        batcher.add(tiny_request(0, arrival_s=0.5))
+        batcher.add(tiny_request(1, op="intt", arrival_s=0.5))
+        deadline = batcher.next_deadline_s()
+        assert deadline == pytest.approx(0.501)
+        expired = batcher.take_expired(deadline)
+        assert len(expired) == 2
+        assert [b.key[1] for b in expired] == ["ntt", "intt"]
+        assert batcher.next_deadline_s() == float("inf")
+
+    def test_expiry_tie_leaves_later_batches_open(self, batcher, tiny_request):
+        batcher.add(tiny_request(0, arrival_s=0.0))
+        batcher.add(tiny_request(1, op="intt", arrival_s=0.0))
+        batcher.add(tiny_request(2, op="polymul",
+                                 operand=[1] * TINY_N, arrival_s=0.0005))
+        expired = batcher.take_expired(1e-3)
+        assert {b.key[1] for b in expired} == {"ntt", "intt"}
+        assert len(batcher) == 1  # the polymul batch still has 0.5 ms
+        assert batcher.next_deadline_s() == pytest.approx(0.0015)
+
+    def test_drain_preserves_insertion_order(self, batcher, tiny_request):
+        batcher.add(tiny_request(0, op="intt"))
+        batcher.add(tiny_request(1))            # ntt opens second
+        batcher.add(tiny_request(2, op="intt"))  # joins the first batch
+        drained = batcher.drain()
+        assert [b.key[1] for b in drained] == ["intt", "ntt"]
+        assert [b.size for b in drained] == [2, 1]
+
+    def test_capacity_one_batches_close_on_every_add(self, tiny_request):
+        batcher = CoalescingBatcher(BatchPolicy(max_wait_s=1e-3), lambda key: 1)
+        for i in range(3):
+            full = batcher.add(tiny_request(i))
+            assert full is not None
+            assert full.size == full.capacity == 1 and full.padding == 0
+        assert len(batcher) == 0 and batcher.next_deadline_s() == float("inf")
+
+    def test_max_batch_one_policy_equivalent(self, tiny_request):
+        # Policy cap of 1 over a larger engine capacity behaves the same.
+        batcher = CoalescingBatcher(
+            BatchPolicy(max_wait_s=1e-3, max_batch=1), capacity_of
+        )
+        full = batcher.add(tiny_request(0))
+        assert full is not None and full.capacity == 1
+
+    def test_id_factory_gives_per_batcher_ids(self, tiny_request):
+        import itertools
+
+        batcher = CoalescingBatcher(
+            BatchPolicy(max_wait_s=1e-3), lambda key: 1,
+            id_factory=itertools.count().__next__,
+        )
+        ids = [batcher.add(tiny_request(i)).batch_id for i in range(3)]
+        assert ids == [0, 1, 2]

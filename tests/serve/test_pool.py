@@ -85,8 +85,8 @@ class TestProfiles:
 class TestServe:
     def test_model_and_sram_agree_with_gold(self, tiny_pool, tiny_request):
         batch = make_batch(tiny_request, [0, 1, 2])
-        model_results, model_profile, _ = tiny_pool.serve(batch, mode="model", lane=0)
-        sram_results, sram_profile, _ = tiny_pool.serve(batch, mode="sram", lane=0)
+        model_results, model_profile, _ = tiny_pool.serve(batch, backend="model", lane=0)
+        sram_results, sram_profile, _ = tiny_pool.serve(batch, backend="sram", lane=0)
         assert model_results == sram_results
         assert model_profile is sram_profile
         for request, result in zip(batch.requests, model_results):
@@ -95,13 +95,13 @@ class TestServe:
     def test_sram_polymul_matches_gold(self, tiny_pool, tiny_request):
         operand = [5] + [0] * (TINY_N - 1)
         batch = make_batch(tiny_request, [0, 1], op="polymul", operand=operand)
-        results, _, _ = tiny_pool.serve(batch, mode="sram")
+        results, _, _ = tiny_pool.serve(batch, backend="sram")
         for request, result in zip(batch.requests, results):
             assert list(result) == gold_result(request)
 
     def test_sram_trims_padding(self, tiny_pool, tiny_request):
         batch = make_batch(tiny_request, [0])  # capacity 4, one live request
-        results, _, _ = tiny_pool.serve(batch, mode="sram")
+        results, _, _ = tiny_pool.serve(batch, backend="sram")
         assert len(results) == 1
 
     def test_unknown_backend_rejected(self, tiny_pool, tiny_request):
@@ -111,20 +111,44 @@ class TestServe:
 
     def test_unknown_legacy_mode_rejected(self, tiny_pool, tiny_request):
         batch = make_batch(tiny_request, [0])
-        with pytest.raises(ParameterError, match="unknown backend"):
-            tiny_pool.serve(batch, mode="hardware")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ParameterError, match="unknown backend"):
+                tiny_pool.serve(batch, mode="hardware")
 
     def test_oversized_batch_rejected(self, tiny_pool, tiny_request):
         batch = PolyBatch(key=tiny_request(0).batch_key, capacity=99)
         for i in range(5):
             batch.add(tiny_request(i))
         with pytest.raises(ParameterError, match="exceeds invocation capacity"):
-            tiny_pool.serve(batch, mode="model")
+            tiny_pool.serve(batch, backend="model")
 
     def test_bad_lane_rejected(self, tiny_pool, tiny_request):
         batch = make_batch(tiny_request, [0])
         with pytest.raises(ParameterError, match="lane"):
-            tiny_pool.serve(batch, mode="model", lane=7)
+            tiny_pool.serve(batch, backend="model", lane=7)
+
+
+class TestModeDeprecation:
+    def test_serve_mode_warns(self, tiny_pool, tiny_request):
+        batch = make_batch(tiny_request, [0])
+        with pytest.warns(DeprecationWarning, match="mode= argument is deprecated"):
+            tiny_pool.serve(batch, mode="model", lane=0)
+
+    def test_serve_backend_wins_over_mode(self, tiny_pool, tiny_request):
+        # An explicit backend= takes precedence; the alias still warns.
+        batch = make_batch(tiny_request, [0])
+        with pytest.warns(DeprecationWarning):
+            results, profile, _ = tiny_pool.serve(
+                batch, backend="model", mode="no-such-backend", lane=0
+            )
+        assert list(results[0]) == gold_result(batch.requests[0])
+        assert profile is tiny_pool.profile(batch.key, backend="model")
+
+    def test_serve_backend_alone_is_silent(self, tiny_pool, tiny_request,
+                                           recwarn):
+        batch = make_batch(tiny_request, [0])
+        tiny_pool.serve(batch, backend="model", lane=0)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
 
 
 class TestBankedLanes:
@@ -135,7 +159,7 @@ class TestBankedLanes:
         batch = PolyBatch(key=key, capacity=8)
         for i in range(6):
             batch.add(tiny_request(i))
-        results, profile, _ = pool.serve(batch, mode="sram")
+        results, profile, _ = pool.serve(batch, backend="sram")
         assert len(results) == 6
         for request, result in zip(batch.requests, results):
             assert list(result) == gold_result(request)

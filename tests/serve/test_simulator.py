@@ -32,7 +32,7 @@ class TestReplayCorrectness:
                             arrival_s=2e-4 + i * 1e-4) for i in range(3)]
         )
         simulator = ServingSimulator(
-            tiny_pool, BatchPolicy(max_wait_s=WAIT_S), mode="sram"
+            tiny_pool, BatchPolicy(max_wait_s=WAIT_S), backend="sram"
         )
         report = simulator.replay(trace)
         assert report.count == len(trace)
@@ -42,7 +42,7 @@ class TestReplayCorrectness:
         trace = [tiny_request(i, arrival_s=i * 1e-4) for i in range(6)]
         model = ServingSimulator(tiny_pool, BatchPolicy(max_wait_s=WAIT_S))
         sram = ServingSimulator(
-            tiny_pool, BatchPolicy(max_wait_s=WAIT_S), mode="sram"
+            tiny_pool, BatchPolicy(max_wait_s=WAIT_S), backend="sram"
         )
         a, b = model.replay(trace), sram.replay(trace)
         assert [r.result for r in a.responses] == [r.result for r in b.responses]
@@ -133,12 +133,44 @@ class TestDeterminism:
         assert a.throughput_rps == b.throughput_rps
         assert a.utilization == b.utilization
 
+    def test_report_is_byte_identical(self, tiny_pool, tiny_request):
+        trace = [tiny_request(i, arrival_s=i * 3e-4) for i in range(7)]
+        sim = ServingSimulator(tiny_pool, BatchPolicy(max_wait_s=WAIT_S))
+        assert repr(sim.replay(trace)) == repr(sim.replay(trace))
+
+
+class TestModeDeprecation:
+    def test_constructor_mode_warns_and_aliases(self, tiny_pool):
+        with pytest.warns(DeprecationWarning, match="mode= argument is deprecated"):
+            simulator = ServingSimulator(tiny_pool, mode="sram")
+        assert simulator.backend == "sram"
+
+    def test_constructor_backend_wins_over_mode(self, tiny_pool):
+        with pytest.warns(DeprecationWarning):
+            simulator = ServingSimulator(tiny_pool, backend="model", mode="sram")
+        assert simulator.backend == "model"
+
+    def test_mode_property_warns_both_ways(self, tiny_pool):
+        simulator = ServingSimulator(tiny_pool, backend="model")
+        with pytest.warns(DeprecationWarning):
+            assert simulator.mode == "model"
+        with pytest.warns(DeprecationWarning):
+            simulator.mode = "sram"
+        assert simulator.backend == "sram"
+
+    def test_backend_alone_is_silent(self, tiny_pool, tiny_request, recwarn):
+        simulator = ServingSimulator(
+            tiny_pool, BatchPolicy(max_wait_s=WAIT_S), backend="model"
+        )
+        simulator.replay([tiny_request(0)])
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
 
 class TestStandardParams:
     def test_kyber_sram_end_to_end(self):
         """One real-parameter batch through the full stack on the SRAM path."""
         pool = EnginePool(PoolConfig(size=1))
-        simulator = ServingSimulator(pool, BatchPolicy(max_wait_s=1e-3), mode="sram")
+        simulator = ServingSimulator(pool, BatchPolicy(max_wait_s=1e-3), backend="sram")
         params_n = 256
         trace = [
             Request(request_id=i, op="ntt", params_name="kyber-v1",

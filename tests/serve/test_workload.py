@@ -9,7 +9,9 @@ from repro.serve.workload import SCENARIOS, Scenario, bursty_trace, poisson_trac
 
 class TestScenarios:
     def test_known_scenarios(self):
-        assert set(SCENARIOS) == {"ntt", "kyber", "dilithium", "he", "mixed"}
+        assert set(SCENARIOS) == {
+            "ntt", "kyber", "dilithium", "he", "mixed", "mixed-slo"
+        }
 
     def test_weights_validated(self):
         comp = SCENARIOS["kyber"].components[0]
@@ -63,6 +65,26 @@ class TestPoisson:
         with pytest.raises(ParameterError):
             poisson_trace("ntt", 100, -1.0)
 
+    def test_mean_rate_within_tolerance(self):
+        # 4000 expected calls: a Poisson count is within 5% w.h.p., and
+        # the seed pins the draw, so the bound is exact for this test.
+        rate, duration = 2000.0, 2.0
+        trace = poisson_trace("ntt", rate, duration, seed=2023)
+        assert abs(len(trace) / (rate * duration) - 1.0) < 0.05
+
+    def test_mix_weights_honored_over_long_trace(self):
+        # 45/35/20 mixed scenario over ~4000 calls: each class's share
+        # of *calls* (HE counts its two component requests as one call)
+        # lands within 3 points of its weight.
+        trace = poisson_trace("mixed", 2000.0, 2.0, seed=2023)
+        calls = {"kyber": 0, "dilithium": 0, "he": 0}
+        for r in trace:
+            calls[r.kind] += 1
+        calls["he"] //= 2  # two requests per HE call
+        total = sum(calls.values())
+        for kind, weight in (("kyber", 0.45), ("dilithium", 0.35), ("he", 0.20)):
+            assert abs(calls[kind] / total - weight) < 0.03, (kind, calls)
+
 
 class TestBursty:
     def test_mean_rate_preserved(self):
@@ -81,3 +103,34 @@ class TestBursty:
             bursty_trace("ntt", 100, 0.1, duty=1.5)
         with pytest.raises(ParameterError, match="burst"):
             bursty_trace("ntt", 100, 0.1, burst=10.0, duty=0.3)
+
+    def test_deterministic_by_seed(self):
+        a = bursty_trace("mixed", 800, 0.2, seed=13)
+        b = bursty_trace("mixed", 800, 0.2, seed=13)
+        assert [(r.arrival_s, r.kind, r.payload) for r in a] == [
+            (r.arrival_s, r.kind, r.payload) for r in b
+        ]
+        c = bursty_trace("mixed", 800, 0.2, seed=14)
+        assert [r.arrival_s for r in a] != [r.arrival_s for r in c]
+
+    def test_mean_rate_within_tolerance(self):
+        # The on/off thinning must preserve the requested mean rate.
+        rate, duration = 2000.0, 2.0
+        trace = bursty_trace("ntt", rate, duration, seed=2023)
+        assert abs(len(trace) / (rate * duration) - 1.0) < 0.05
+
+
+class TestSLOScenario:
+    def test_tenants_and_deadlines_attached(self):
+        trace = poisson_trace("mixed-slo", 1500, 0.2, seed=3)
+        budgets = {"handshake": 4e-3, "signing": 8e-3, "analytics": 25e-3}
+        assert {r.tenant for r in trace} == set(budgets)
+        for r in trace:
+            assert r.deadline_s == pytest.approx(
+                r.arrival_s + budgets[r.tenant]
+            )
+
+    def test_plain_mixed_is_best_effort(self):
+        trace = poisson_trace("mixed", 1500, 0.1, seed=3)
+        assert all(r.deadline_s is None for r in trace)
+        assert {r.tenant for r in trace} == {"kyber", "dilithium", "he"}

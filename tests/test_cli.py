@@ -32,6 +32,24 @@ class TestParser:
         args = build_parser().parse_args(["serve", "--mode", "sram"])
         assert args.backend == "sram"
 
+    def test_serve_scheduler_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--scheduler", "slo", "--slo-ms", "5.0",
+             "--queue-limit", "32"]
+        )
+        assert args.scheduler == "slo"
+        assert args.slo_ms == 5.0
+        assert args.queue_limit == 32
+
+    def test_serve_scheduler_choices_track_registry(self):
+        from repro.sched import available_schedulers
+
+        for name in available_schedulers():
+            args = build_parser().parse_args(["serve", "--scheduler", name])
+            assert args.scheduler == name
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scheduler", "no-such"])
+
     def test_serve_backend_choices_track_registry(self):
         from repro.backends import available_backends
 
@@ -48,6 +66,9 @@ class TestParser:
         assert args.duration == 1.0
         assert args.backend == "model"
         assert args.max_batch is None
+        assert args.scheduler == "fifo"
+        assert args.slo_ms is None
+        assert args.queue_limit is None
 
     def test_verify_backend_flag(self):
         args = build_parser().parse_args(["verify", "--backend", "sram"])
@@ -104,6 +125,44 @@ class TestCheapCommands:
         out = capsys.readouterr().out
         assert "backend=numpy" in out
         assert "p99(ms)" in out
+
+    def test_serve_slo_scheduler_with_uniform_deadline(self, capsys):
+        # A tight uniform SLO on a bursty ntt trace: the slo scheduler
+        # must surface drop/attainment accounting in the report.
+        main(["serve", "--scenario", "ntt", "--rate", "800", "--duration",
+              "0.05", "--pool-size", "1", "--seed", "5", "--scheduler", "slo",
+              "--slo-ms", "2.0", "--queue-limit", "4"])
+        out = capsys.readouterr().out
+        assert "scheduler=slo" in out
+        assert "SLO attainment" in out
+        assert "Tenant" in out
+
+    def test_serve_adaptive_scheduler(self, capsys):
+        main(["serve", "--scenario", "ntt", "--rate", "400", "--duration",
+              "0.05", "--pool-size", "1", "--seed", "5",
+              "--scheduler", "adaptive"])
+        out = capsys.readouterr().out
+        assert "scheduler=adaptive" in out
+        assert "p99(ms)" in out
+
+    def test_non_positive_slo_ms_rejected(self, capsys):
+        # A sign/units typo must not silently shed 100% of the load.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--scenario", "ntt", "--rate", "400",
+                  "--duration", "0.05", "--pool-size", "1", "--seed", "5",
+                  "--scheduler", "slo", "--slo-ms", "-5"])
+        assert excinfo.value.code == 2
+        assert "--slo-ms must be > 0" in capsys.readouterr().err
+
+    def test_queue_limit_rejected_by_non_slo_scheduler(self, capsys):
+        # --queue-limit must not be a silent no-op: a scheduler that
+        # never drops rejects it, and the CLI exits with the error.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--scenario", "ntt", "--rate", "400",
+                  "--duration", "0.05", "--pool-size", "1", "--seed", "5",
+                  "--scheduler", "adaptive", "--queue-limit", "8"])
+        assert excinfo.value.code == 2
+        assert "unknown options" in capsys.readouterr().err
 
     def test_backends_listing(self, capsys):
         from repro.backends import available_backends
