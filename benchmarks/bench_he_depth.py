@@ -1,0 +1,191 @@
+"""HE multiplicative depth: noise per level, and the priced ct x ct trail.
+
+The paper motivates BP-NTT's large-modulus configurations with exactly
+the homomorphic workloads that need *multiplicative depth*: a BFV-lite
+ciphertext-ciphertext product is ``4 + 2 * digits`` negacyclic products
+(tensor + relinearization), every one of them the kernel the subarray
+accelerates.  This bench charts the depth trail end to end:
+
+1. **Noise per level** (``depth_profile``): how many ct x ct levels each
+   of the three HE security levels absorbs before its budget is spent —
+   the 16/21-bit rings afford one level, the 29-bit ring two, which is
+   the argument for the wide-modulus subarray configurations.
+2. **Cost per level** (``Backend.profile``): the cycle-accurate price of
+   one lowered multiply on each ring — products per call, invocation
+   energy/latency, and energy per level at full batch occupancy.
+3. **The serving trail**: a ``he-mul`` trace replayed through the
+   simulator must charge *exactly* what ``Backend.profile`` prices for
+   the constituent products — every batch's energy is its profile's
+   energy, and every request's share is the profile divided by its
+   batch's live size.  Asserted, so serve-report energy is pinned to
+   the paper's cost model.
+
+Run as a script for the tables (``--quick`` for a CI-sized run that
+covers only the 16-bit ring), or under pytest for the asserted full
+run: ``pytest benchmarks/bench_he_depth.py -s``.
+"""
+
+import argparse
+import random
+
+from repro.crypto.he import (
+    HEContext,
+    default_relin_base,
+    depth_profile,
+    format_depth_table,
+    relin_digit_count,
+)
+from repro.ntt.params import get_params
+from repro.serve import (
+    BatchPolicy,
+    EnginePool,
+    PoolConfig,
+    ServingSimulator,
+    poisson_trace,
+)
+
+PARAM_SETS = ("he-16bit", "he-21bit", "he-29bit")
+PLAINTEXT_MODULUS = 2   # the deepest setting: messages in {0, 1}
+MAX_LEVELS = 4
+SEED = 2023
+SERVE_SCENARIO = "he-mul"
+SERVE_RATE = 60.0       # logical ct x ct calls per second
+SERVE_DURATION_S = 0.10
+QUICK_DURATION_S = 0.05
+
+
+def products_per_call(params_name: str) -> int:
+    """Constituent negacyclic products of one lowered ct x ct multiply."""
+    q = get_params(params_name).q
+    return 4 + 2 * relin_digit_count(q, default_relin_base(q))
+
+
+def noise_rows(param_sets):
+    """(set, level, noise, budget, correct) rows from seeded multiply chains."""
+    rows = []
+    for name in param_sets:
+        context = HEContext(get_params(name), plaintext_modulus=PLAINTEXT_MODULUS,
+                            rng=random.Random(SEED))
+        for record in depth_profile(context, max_levels=MAX_LEVELS):
+            rows.append((name, record))
+    return rows
+
+
+def format_noise_table(rows) -> str:
+    return "\n".join([
+        f"noise per multiplicative level (t={PLAINTEXT_MODULUS}, seed {SEED})",
+        "",
+        format_depth_table(rows),
+    ])
+
+
+def pricing_rows(pool, param_sets):
+    """Cycle-accurate cost of one ct x ct level per parameter set."""
+    rng = random.Random(SEED)
+    rows = []
+    for name in param_sets:
+        params = get_params(name)
+        operand = tuple(rng.randrange(params.q) for _ in range(params.n))
+        profile = pool.profile((name, "polymul", operand))
+        count = products_per_call(name)
+        rows.append({
+            "set": name,
+            "products": count,
+            "invocation_nj": profile.energy_nj,
+            "latency_ms": profile.latency_s * 1e3,
+            "capacity": profile.capacity,
+            # Energy for one full multiply with every constituent batch
+            # dispatched at capacity occupancy.
+            "level_nj": count * profile.energy_nj / profile.capacity,
+        })
+    return rows
+
+
+def format_pricing_table(rows) -> str:
+    header = (f"{'Set':<10} {'Products':>8} {'Invoc(nJ)':>10} "
+              f"{'Lat(ms)':>8} {'Batch':>5} {'E/level(nJ)':>12}")
+    lines = ["cost of one ct x ct level (Backend.profile, model backend)",
+             "", header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['set']:<10} {r['products']:>8} {r['invocation_nj']:>10.1f} "
+            f"{r['latency_ms']:>8.3f} {r['capacity']:>5} {r['level_nj']:>12.1f}"
+        )
+    return "\n".join(lines)
+
+
+def serve_he_mul(pool, duration_s):
+    """Replay a he-mul trace; pin its energy to Backend.profile pricing."""
+    trace = poisson_trace(SERVE_SCENARIO, SERVE_RATE, duration_s, seed=SEED)
+    per_call = products_per_call("he-16bit")
+    assert trace and len(trace) % per_call == 0, \
+        f"trace of {len(trace)} is not whole ct x ct calls of {per_call}"
+    report = ServingSimulator(pool, BatchPolicy(max_wait_s=2e-3)).replay(trace)
+    assert report.count == len(trace)
+
+    # Every dispatched batch charges exactly its profile...
+    for batch in report.batches:
+        profile = pool.profile(batch.key)
+        assert batch.energy_nj == profile.energy_nj, batch.key
+    # ...and every request's share is the profile over its live batch.
+    for response in report.responses:
+        profile = pool.profile(response.request.batch_key)
+        assert response.energy_nj == profile.energy_nj / response.batch_size
+    # Conservation: report total == sum of profile-priced invocations.
+    assert report.total_energy_nj == sum(
+        pool.profile(b.key).energy_nj for b in report.batches
+    )
+    return report
+
+
+def format_serve_summary(report) -> str:
+    per_call = products_per_call("he-16bit")
+    calls = report.count // per_call
+    overall = report.overall
+    return "\n".join([
+        f"he-mul serving trail: {calls} ct x ct calls -> {report.count} "
+        f"products, {len(report.batches)} batches",
+        f"mean occupancy {report.mean_occupancy:.1%}, "
+        f"p99 {overall.p99_ms:.3f} ms, "
+        f"energy {overall.energy_per_request_nj:.1f} nJ/product "
+        f"({overall.energy_per_request_nj * per_call / 1e3:.2f} uJ per "
+        f"ct x ct call)",
+        "per-request energy == Backend.profile / batch size for every "
+        "response (asserted)",
+    ])
+
+
+def run(param_sets, duration_s):
+    pool = EnginePool(PoolConfig(size=2))
+    noise = format_noise_table(noise_rows(param_sets))
+    pricing = format_pricing_table(pricing_rows(pool, param_sets))
+    serve = format_serve_summary(serve_he_mul(pool, duration_s))
+    return "\n\n".join([noise, pricing, serve])
+
+
+def test_he_depth(artifact_writer):
+    text = run(PARAM_SETS, SERVE_DURATION_S)
+    artifact_writer("he_depth", text)
+    # The depth claim the README states: deeper rings buy more levels.
+    rows = noise_rows(PARAM_SETS)
+    depth = {
+        name: sum(1 for n, r in rows if n == name and r.within_budget)
+        for name in PARAM_SETS
+    }
+    assert depth["he-16bit"] >= 1
+    assert depth["he-29bit"] > depth["he-16bit"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 16-bit ring only, short trace")
+    args = parser.parse_args()
+    if args.quick:
+        print(run(("he-16bit",), QUICK_DURATION_S))
+    else:
+        print(run(PARAM_SETS, SERVE_DURATION_S))
+
+
+if __name__ == "__main__":
+    main()

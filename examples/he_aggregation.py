@@ -3,32 +3,56 @@
 
 The HE workloads that motivate BP-NTT's large-modulus configurations
 (§I: 1024-point polynomials, 16/21/29-bit moduli) spend their time in
-negacyclic polynomial products.  This demo runs a private-sum pipeline:
+negacyclic polynomial products.  This demo runs an encrypted
+dot-product pipeline:
 
 1. several clients encrypt their data vectors under one public key,
 2. the server adds the ciphertexts homomorphically and applies a public
    weighting polynomial (two negacyclic products per ciphertext — the
-   kernel an in-cache BP-NTT array would execute),
-3. the key holder decrypts the aggregate.
+   plaintext-product kernel),
+3. the server then scores the aggregate against a *proprietary,
+   encrypted* weight vector: one ciphertext-ciphertext multiplication
+   (four tensor products plus the relinearization trail — the deep
+   kernel ``repro.cli serve --scenario he-mul`` prices), packing the
+   dot product into the product's constant coefficient,
+4. the key holder decrypts the weighted aggregate and the encrypted
+   dot-product score.
+
+Every product in steps 2-3 is a negacyclic polynomial multiplication —
+the exact workload an in-cache BP-NTT array executes server-side.
 
 Run: ``python examples/he_aggregation.py``
 """
 
 import random
 
-from repro.crypto.he import HEContext
+from repro.crypto.he import HEContext, default_relin_base
 from repro.ntt.params import get_params
 from repro.ntt.transform import schoolbook_negacyclic
+
+
+def dot_product_encoding(weights, t, n):
+    """Encode weights so a negacyclic product packs <data, weights>.
+
+    In Z_t[x]/(x^n + 1), ``(a * b)[0] = a[0]b[0] - sum a[i]b[n-i]``:
+    placing ``-w[n-j]`` at coefficient ``j`` makes the product's
+    constant term the dot product of ``a`` with ``w``.
+    """
+    encoded = [weights[0] % t] + [(-weights[n - j]) % t for j in range(1, n)]
+    return encoded
 
 
 def main() -> None:
     params = get_params("he-29bit")  # 1024-point, 29-bit modulus
     rng = random.Random(7)
-    ctx = HEContext(params, plaintext_modulus=64, rng=rng)
+    ctx = HEContext(params, plaintext_modulus=16, rng=rng)
     print(f"context: {ctx}")
     print(f"noise budget: {ctx.noise_budget:,}")
 
     key = ctx.keygen()
+    relin = ctx.relin_keygen(key)
+    print(f"relinearization keys: {relin.digits} digits, base "
+          f"{default_relin_base(params.q)}")
 
     # -- clients ------------------------------------------------------------
     clients = 5
@@ -56,9 +80,35 @@ def main() -> None:
     print("plaintext-weighted aggregate verified "
           "(2 negacyclic products — the BP-NTT kernel)")
 
-    noise = ctx.noise_of(key, weighted, expected)
+    # -- server: encrypted scoring (ciphertext multiplication) ---------------
+    # The scoring weights are proprietary: the model owner ships them
+    # *encrypted*, and the server computes the dot product blind — one
+    # ct x ct multiply whose constant coefficient packs <sum, weights>.
+    score_weights = [rng.randrange(ctx.t) for _ in range(params.n)]
+    encrypted_weights = ctx.encrypt(
+        key, dot_product_encoding(score_weights, ctx.t, params.n)
+    )
+    scored = ctx.multiply(aggregate, encrypted_weights, relin)
+    products = 4 + 2 * relin.digits
+    print(f"encrypted dot product: 1 ct x ct multiply = {products} negacyclic "
+          f"products (4 tensor + {2 * relin.digits} relinearization)")
+
+    expected_score = sum(
+        a * w for a, w in zip(expected_sum, score_weights)
+    ) % ctx.t
+    decrypted = ctx.decrypt(key, scored)
+    assert decrypted[0] == expected_score, (decrypted[0], expected_score)
+    print(f"blind score verified: <aggregate, weights> = {expected_score} "
+          f"(mod t={ctx.t}), level {scored.level}")
+
+    expected_product = schoolbook_negacyclic(
+        expected_sum, dot_product_encoding(score_weights, ctx.t, params.n),
+        ctx.t,
+    )
+    assert decrypted == expected_product
+    noise = ctx.noise_of(key, scored, expected_product)
     print(f"final noise {noise:,} / budget {ctx.noise_budget:,} "
-          f"({noise / ctx.noise_budget:.1%} consumed)")
+          f"({noise / ctx.noise_budget:.1%} consumed at level {scored.level})")
 
 
 if __name__ == "__main__":

@@ -12,12 +12,17 @@ Usage::
     python -m repro.cli breakdown         # butterfly cycle breakdown
     python -m repro.cli serve             # request-level serving simulation
     python -m repro.cli backends          # registered execution backends
+    python -m repro.cli hedepth           # HE noise per multiplicative level
 
 ``serve`` and ``verify`` accept ``--backend <name>`` to pick any
 execution backend registered in :mod:`repro.backends`; ``serve`` also
 accepts ``--scheduler <name>`` (any scheduler registered in
 :mod:`repro.sched`) plus ``--slo-ms`` / ``--queue-limit`` for the
-SLO-aware policies.
+SLO-aware policies.  ``serve --scenario he-mul`` replays full BFV-lite
+ciphertext-ciphertext products (each call lowered into its tensor and
+relinearization products); ``hedepth`` charts the noise those products
+accumulate per multiplicative level on the paper's three HE parameter
+sets.
 
 All output goes to stdout; the heavy targets (table1, serve with HE
 traffic) run the cycle-level simulator or compile large programs and
@@ -195,6 +200,50 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     print(format_serve_report(report))
 
 
+#: The paper's HE security levels, in depth order.
+_HE_PARAM_SETS = ("he-16bit", "he-21bit", "he-29bit")
+
+
+def _cmd_hedepth(args: argparse.Namespace) -> None:
+    import random
+
+    from repro.crypto.he import (
+        HEContext,
+        default_relin_base,
+        depth_profile,
+        format_depth_table,
+    )
+    from repro.errors import ReproError
+    from repro.ntt.params import get_params
+
+    try:
+        rows = []
+        summaries = []
+        for name in args.sets or _HE_PARAM_SETS:
+            params = get_params(name)
+            context = HEContext(
+                params, plaintext_modulus=args.plaintext_modulus,
+                rng=random.Random(args.seed),
+            )
+            records = depth_profile(context, max_levels=args.levels)
+            rows.extend((name, record) for record in records)
+            depth = sum(1 for r in records if r.within_budget)
+            summaries.append(
+                f"{name:<10} q={params.q:,} relin base "
+                f"{default_relin_base(params.q)} -> {depth} multiplicative "
+                f"level(s) within budget"
+            )
+        print(f"BFV-lite noise per multiplicative level "
+              f"(t={args.plaintext_modulus}, seed {args.seed}):")
+        print(format_depth_table(rows))
+        print()
+        for line in summaries:
+            print(line)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        sys.exit(2)
+
+
 def _cmd_backends(_: argparse.Namespace) -> None:
     from repro.backends import available_backends, create_backend
     from repro.ntt.params import get_params
@@ -220,6 +269,7 @@ _COMMANDS = {
     "scaling": _cmd_scaling,
     "serve": _cmd_serve,
     "backends": _cmd_backends,
+    "hedepth": _cmd_hedepth,
 }
 
 
@@ -241,8 +291,9 @@ def build_parser() -> argparse.ArgumentParser:
                 name, help="simulate request-level serving over pooled engines"
             )
             cmd.add_argument("--scenario", default="mixed",
-                             help="traffic mix: ntt, kyber, dilithium, he, mixed "
-                                  "(default mixed)")
+                             help="traffic mix: ntt, kyber, dilithium, he, "
+                                  "he-mul (ciphertext products), mixed, "
+                                  "mixed-slo, mixed-deep (default mixed)")
             cmd.add_argument("--rate", type=float, default=200.0,
                              help="mean client calls per second (default 200)")
             cmd.add_argument("--duration", type=float, default=1.0,
@@ -279,6 +330,21 @@ def build_parser() -> argparse.ArgumentParser:
             continue
         if name == "backends":
             sub.add_parser(name, help="list registered execution backends")
+            continue
+        if name == "hedepth":
+            cmd = sub.add_parser(
+                name, help="BFV-lite noise per multiplicative level"
+            )
+            cmd.add_argument("--set", dest="sets", action="append",
+                             choices=_HE_PARAM_SETS, default=None,
+                             help="HE parameter set to chart (repeatable; "
+                                  "default: all three)")
+            cmd.add_argument("--levels", type=int, default=4,
+                             help="multiplicative levels to attempt (default 4)")
+            cmd.add_argument("--plaintext-modulus", type=int, default=2,
+                             help="plaintext modulus t (default 2, the "
+                                  "deepest setting)")
+            cmd.add_argument("--seed", type=int, default=2023)
             continue
         cmd = sub.add_parser(name, help=f"generate {name}")
         if name == "verify":

@@ -12,6 +12,9 @@ executable versions of those workloads:
   multiplication, since 2n does not divide q - 1.
 - :mod:`repro.crypto.dilithium` — CRYSTALS-Dilithium's full 8-layer NTT
   over q = 8380417.
+- :mod:`repro.crypto.he`        — BFV-lite leveled HE over the 1024-point
+  ``he-*`` rings: encryption, homomorphic addition, plaintext products,
+  and relinearized ciphertext-ciphertext multiplication.
 """
 
 from repro.crypto.dilithium import (
@@ -28,10 +31,30 @@ from repro.crypto.kyber import (
     kyber_ntt,
     kyber_polymul,
 )
+from repro.crypto.he import (
+    DepthRecord,
+    HECiphertext,
+    HEContext,
+    HEKeyPair,
+    RelinKey,
+    default_relin_base,
+    depth_profile,
+    format_depth_table,
+    relin_digit_count,
+)
 from repro.crypto.rlwe import RLWECiphertext, RLWEKeyPair, RLWEScheme
 
 __all__ = [
     "DILITHIUM_Q",
+    "DepthRecord",
+    "HECiphertext",
+    "HEContext",
+    "HEKeyPair",
+    "RelinKey",
+    "default_relin_base",
+    "depth_profile",
+    "format_depth_table",
+    "relin_digit_count",
     "dilithium_intt",
     "dilithium_ntt",
     "dilithium_polymul",

@@ -196,14 +196,21 @@ class SLOScheduler:
                     continue
                 self._deficit[tenant] = (self._deficit.get(tenant, 0.0)
                                          + self.quantum * self.weight(tenant))
+                dispatched = False
                 while queue and queue[0].size <= self._deficit[tenant]:
                     batch = queue.pop(0)
                     self._deficit[tenant] -= batch.size
                     order.append(batch)
+                    dispatched = True
                 if not queue:
                     # Classic DRR: an emptied queue forfeits its credit.
                     self._deficit[tenant] = 0.0
-                self._last_tenant = tenant
+                if dispatched:
+                    # The resume cursor advances on actual dispatch only:
+                    # a tenant whose large batch merely accrued deficit
+                    # this round was not served, and the cursor must not
+                    # drift past it.
+                    self._last_tenant = tenant
         return order
 
     # -- placement ---------------------------------------------------------

@@ -38,6 +38,7 @@ from repro.serve.request import (
     dilithium_ntt_request,
     gold_result,
     he_multiply_plain_requests,
+    he_multiply_requests,
     kyber_polymul_request,
 )
 from repro.serve.simulator import ServingSimulator
@@ -61,6 +62,7 @@ __all__ = [
     "format_serve_report",
     "gold_result",
     "he_multiply_plain_requests",
+    "he_multiply_requests",
     "kyber_polymul_request",
     "poisson_trace",
 ]

@@ -13,6 +13,12 @@ three through the adapter constructors:
 - :func:`he_multiply_plain_requests` — BFV-lite plaintext
   multiplication: one product per ciphertext component, i.e. two
   ``polymul`` requests sharing the plaintext operand.
+- :func:`he_multiply_requests` — BFV-lite ciphertext-ciphertext
+  multiplication: one logical ct x ct call lowered into its constituent
+  negacyclic products (the four tensor components plus one product per
+  relinearization-key half per base-T digit).  The fixed operands — the
+  long-lived operand ciphertext's components and the relinearization
+  key — are key material, so the products coalesce across calls.
 
 Requests carry their arrival time and parameter-set name; the batcher
 uses ``(params_name, op, operand)`` as the compatibility key because a
@@ -25,12 +31,13 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.backends.base import KERNEL_OPS
+from repro.crypto.he import HECiphertext, HEContext, RelinKey
 from repro.errors import ParameterError
 from repro.ntt.params import NTTParams, get_params
 
 __all__ = ["KERNEL_OPS", "Request", "Response", "gold_result",
            "kyber_polymul_request", "dilithium_ntt_request",
-           "he_multiply_plain_requests"]
+           "he_multiply_plain_requests", "he_multiply_requests"]
 
 
 def _canonical(coeffs: Sequence[int], params: NTTParams, label: str) -> Tuple[int, ...]:
@@ -203,4 +210,67 @@ def he_multiply_plain_requests(u: Sequence[int], v: Sequence[int],
             kind="he",
         )
         for index, component in enumerate((u, v))
+    ]
+
+
+def he_multiply_requests(context: HEContext, ct1: HECiphertext,
+                         ct2: HECiphertext, relin_key: RelinKey, *,
+                         request_id: int, arrival_s: float = 0.0,
+                         params_name: str = "he-16bit") -> List[Request]:
+    """BFV-lite ciphertext-times-ciphertext: the full product trail.
+
+    Lowers one logical :meth:`~repro.crypto.he.HEContext.multiply` call
+    into its constituent negacyclic products, in evaluation order:
+
+    1. ``v1 * v2`` — the tensor's d0 component,
+    2. ``u1 * v2`` and ``v1 * u2`` — the two halves of d1,
+    3. ``u1 * u2`` — the degree-2 component d2,
+    4. for every base-T digit ``i`` of the rescaled d2: ``digit_i * a_i``
+       and ``digit_i * b_i`` against the relinearization key, i.e.
+       ``4 + 2 * relin_key.digits`` ``polymul`` requests taking ids
+       ``request_id ...``.
+
+    ``ct1`` is the fresh (per-call) ciphertext and rides in the
+    payloads; ``ct2`` is the long-lived operand ciphertext (e.g. a
+    provider's encrypted weight vector) and, like the relinearization
+    key, lands in the ``operand`` slot — so every product in the trail
+    has a key-material operand and coalesces across calls, exactly as
+    the plaintext-product trail does.  The digit payloads are derived
+    host-side with the gold model (the trace simulator carries no
+    cross-request dataflow); the t/q rescale and base-T decomposition
+    are O(n) host work in the real pipeline too.
+    """
+    params = get_params(params_name)
+    if (params.n, params.q) != (context.params.n, context.params.q):
+        raise ParameterError(
+            f"parameter set {params_name!r} (n={params.n}, q={params.q}) does "
+            f"not match the HE context ring (n={context.params.n}, "
+            f"q={context.params.q})"
+        )
+    context.check_relin_key(relin_key)
+    u2 = tuple(ct2.u.coeffs)
+    v2 = tuple(ct2.v.coeffs)
+    d2 = context.degree_two_component(ct1, ct2)
+    pairs = [
+        (tuple(ct1.v.coeffs), v2),   # d0 = v1 * v2
+        (tuple(ct1.u.coeffs), v2),   # d1 += u1 * v2
+        (tuple(ct1.v.coeffs), u2),   # d1 += v1 * u2
+        (tuple(ct1.u.coeffs), u2),   # d2 = u1 * u2
+    ]
+    for digit, (a_i, b_i) in zip(context.decompose(d2, relin_key.base),
+                                 relin_key.components):
+        payload = tuple(digit.coeffs)
+        pairs.append((payload, tuple(a_i.coeffs)))
+        pairs.append((payload, tuple(b_i.coeffs)))
+    return [
+        Request(
+            request_id=request_id + index,
+            op="polymul",
+            params_name=params_name,
+            payload=payload,
+            operand=operand,
+            arrival_s=arrival_s,
+            kind="he-mul",
+        )
+        for index, (payload, operand) in enumerate(pairs)
     ]

@@ -16,17 +16,33 @@ Scenario mixes (weights sum to 1):
 - ``dilithium``  — Dilithium forward NTTs (24-bit containers).
 - ``he``         — BFV-lite plaintext products (1024-point, both
   ciphertext components per logical client call).
+- ``he-mul``     — BFV-lite ciphertext-ciphertext products: every call
+  is one relinearized ct x ct multiply lowered into its constituent
+  negacyclic products (four tensor components plus two products per
+  base-T relinearization digit — the
+  :func:`~repro.serve.request.he_multiply_requests` trail).  The
+  operand ciphertext and the relinearization key are long-lived pool
+  operands, so all ``4 + 2*digits`` products coalesce across calls.
 - ``mixed``      — 45% Kyber, 35% Dilithium, 20% HE: a PQC-dominated
   front door with an HE aggregation tenant.
 - ``mixed-slo``  — the same mix with tenants and latency SLOs attached:
   ``handshake`` (Kyber, 4 ms), ``signing`` (Dilithium, 8 ms) and
   ``analytics`` (HE, 25 ms).  The trace the SLO-aware schedulers in
   :mod:`repro.sched` are judged on.
+- ``mixed-deep`` — the PQC front door with the HE tenant split between
+  plaintext products and full ciphertext products (the deep workload):
+  40% Kyber, 30% Dilithium, 15% HE-plain, 15% HE-mul.
 
 ``polymul`` operands draw from a small per-scenario pool of fixed
 polynomials (public keys / plaintext operands are long-lived in real
 deployments), which is what lets the batcher coalesce products and the
-engines reuse compiled pointwise programs.
+engines reuse compiled pointwise programs.  All of one call's
+component requests share operands: a plain component draws **one**
+pool operand per call (an HE plaintext product multiplies both
+ciphertext components by the same polynomial), and a component with an
+``operand_schedule`` touches the scheduled pool entries in order (the
+ct x ct trail walks the operand ciphertext and the relinearization
+key).
 """
 
 from __future__ import annotations
@@ -35,6 +51,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.crypto.he import default_relin_base, relin_digit_count
 from repro.errors import ParameterError
 from repro.ntt.params import get_params
 from repro.serve.request import Request
@@ -42,7 +59,16 @@ from repro.serve.request import Request
 
 @dataclass(frozen=True)
 class MixComponent:
-    """One traffic class inside a scenario."""
+    """One traffic class inside a scenario.
+
+    ``requests_per_call`` requests materialize per logical client call;
+    a plain ``polymul`` component shares one drawn pool operand across
+    all of them.  ``operand_schedule`` instead fixes, per call, which
+    pool operand each component request multiplies (one request per
+    schedule entry) — the shape of a lowered ct x ct multiply, where a
+    call touches the operand ciphertext halves and every
+    relinearization-key component.
+    """
 
     kind: str          # report label: "kyber", "dilithium", "he", "ntt"
     op: str            # kernel op the class reduces to
@@ -52,6 +78,27 @@ class MixComponent:
     requests_per_call: int = 1  # e.g. 2 for HE (two ciphertext components)
     tenant: str = ""        # billing/fairness label; defaults to ``kind``
     slo_ms: Optional[float] = None  # per-request latency budget (deadline)
+    operand_schedule: Optional[Tuple[int, ...]] = None  # pool index per request
+
+    def __post_init__(self) -> None:
+        if self.operand_schedule is None:
+            return
+        if self.op != "polymul":
+            raise ParameterError(
+                f"component {self.kind!r}: operand_schedule requires polymul"
+            )
+        if not self.operand_schedule:
+            raise ParameterError(
+                f"component {self.kind!r}: operand_schedule cannot be empty"
+            )
+        if min(self.operand_schedule) < 0 or \
+                max(self.operand_schedule) >= max(1, self.operand_pool):
+            raise ParameterError(
+                f"component {self.kind!r}: operand_schedule indexes outside "
+                f"pool of {self.operand_pool}"
+            )
+        # The schedule *is* the call shape; keep the count consistent.
+        object.__setattr__(self, "requests_per_call", len(self.operand_schedule))
 
 
 @dataclass(frozen=True)
@@ -69,6 +116,28 @@ class Scenario:
             )
 
 
+def _he_mul_component(weight: float, *, params_name: str = "he-16bit",
+                      tenant: str = "", slo_ms: Optional[float] = None) -> MixComponent:
+    """The ct x ct traffic class: one lowered multiply per call.
+
+    Pool layout mirrors :func:`~repro.serve.request.he_multiply_requests`:
+    entries 0/1 are the operand ciphertext's ``u2``/``v2`` halves and the
+    remaining ``2 * digits`` entries the relinearization-key components
+    ``a_0..a_{d-1}, b_0..b_{d-1}`` — all long-lived key material.  Each
+    call runs the four tensor products then one product per key half
+    per digit, so every product coalesces with its sibling calls.
+    """
+    q = get_params(params_name).q
+    digits = relin_digit_count(q, default_relin_base(q))
+    schedule = (1, 1, 0, 0)  # v1*v2, u1*v2, v1*u2, u1*u2
+    for i in range(digits):
+        schedule += (2 + i, 2 + digits + i)
+    return MixComponent("he-mul", "polymul", params_name, weight,
+                        operand_pool=2 + 2 * digits,
+                        operand_schedule=schedule,
+                        tenant=tenant, slo_ms=slo_ms)
+
+
 SCENARIOS: Dict[str, Scenario] = {
     "ntt": Scenario("ntt", (
         MixComponent("ntt", "ntt", "table1-14bit", 1.0),
@@ -83,6 +152,9 @@ SCENARIOS: Dict[str, Scenario] = {
         MixComponent("he", "polymul", "he-16bit", 1.0, operand_pool=1,
                      requests_per_call=2),
     )),
+    "he-mul": Scenario("he-mul", (
+        _he_mul_component(1.0),
+    )),
     "mixed": Scenario("mixed", (
         MixComponent("kyber", "polymul", "kyber-v1", 0.45, operand_pool=2),
         MixComponent("dilithium", "ntt", "dilithium", 0.35),
@@ -96,6 +168,13 @@ SCENARIOS: Dict[str, Scenario] = {
                      tenant="signing", slo_ms=8.0),
         MixComponent("he", "polymul", "he-16bit", 0.20, operand_pool=1,
                      requests_per_call=2, tenant="analytics", slo_ms=25.0),
+    )),
+    "mixed-deep": Scenario("mixed-deep", (
+        MixComponent("kyber", "polymul", "kyber-v1", 0.40, operand_pool=2),
+        MixComponent("dilithium", "ntt", "dilithium", 0.30),
+        MixComponent("he", "polymul", "he-16bit", 0.15, operand_pool=1,
+                     requests_per_call=2),
+        _he_mul_component(0.15),
     )),
 }
 
@@ -128,10 +207,21 @@ def _materialize(scenario: Scenario, arrivals: List[float],
         c = rng.choices(components, weights=weights)[0]
         params = get_params(c.params_name)
         operand_pool = pools.get(c.kind)
-        for _ in range(c.requests_per_call):
+        # One pool draw per *call*, not per component request: all of a
+        # call's requests multiply by the same long-lived polynomial
+        # (both ciphertext components of an HE plaintext product share
+        # its operand — drawing per request would hand them different
+        # operands once the pool holds more than one, silently breaking
+        # their shared batch key).  Scheduled components instead walk
+        # their fixed per-call pool indices.
+        shared: Optional[Tuple[int, ...]] = None
+        if c.op == "polymul" and c.operand_schedule is None:
+            shared = operand_pool[rng.randrange(len(operand_pool))]
+        for index in range(c.requests_per_call):
             operand: Optional[Tuple[int, ...]] = None
             if c.op == "polymul":
-                operand = operand_pool[rng.randrange(len(operand_pool))]
+                operand = (shared if c.operand_schedule is None
+                           else operand_pool[c.operand_schedule[index]])
             requests.append(
                 Request(
                     request_id=next_id,

@@ -4,9 +4,17 @@ import random
 
 import pytest
 
-from repro.crypto.he import HEContext
+from repro.crypto.he import (
+    HECiphertext,
+    HEContext,
+    RelinKey,
+    default_relin_base,
+    depth_profile,
+    relin_digit_count,
+)
 from repro.errors import ParameterError
 from repro.ntt.params import NTTParams, get_params
+from repro.ntt.polynomial import Polynomial
 from repro.ntt.transform import schoolbook_negacyclic
 
 HE29 = get_params("he-29bit")  # 1024-point, 29-bit q: roomy noise budget
@@ -100,6 +108,177 @@ class TestPlaintextMultiply:
             ctx.multiply_plain(ct, [1, 2, 3])
 
 
+class TestDecryptBoundary:
+    """The advertised noise budget is exact: noise <= budget decrypts,
+    budget + 1 provably does not.  Regression for the uncentered
+    half-even ``round()`` decrypt, whose even-delta budget was
+    off-by-one (a +delta/2 noise coefficient on an odd message rounded
+    to m + 1)."""
+
+    @staticmethod
+    def exact_noise_ct(ctx, message, noise):
+        """A ciphertext whose decryption phase is exactly encode(m) + e."""
+        n = ctx.params.n
+        encoded = Polynomial([(m % ctx.t) * ctx.delta for m in message],
+                             ctx.params)
+        error = Polynomial([noise] + [0] * (n - 1), ctx.params)
+        return HECiphertext(u=Polynomial.zero(ctx.params), v=encoded + error)
+
+    @pytest.fixture(params=["even-delta", "odd-delta"])
+    def ctx(self, request):
+        if request.param == "even-delta":
+            return context(30, t=2, params=get_params("he-16bit"))  # delta 30720
+        return context(31, t=3, params=get_params("he-21bit"))      # delta 685397
+
+    def test_noise_at_budget_decrypts(self, ctx):
+        # Odd message coefficient: the half-even rounding failure mode.
+        message = [1] + [0] * (ctx.params.n - 1)
+        for noise in (ctx.noise_budget, -ctx.noise_budget):
+            ct = self.exact_noise_ct(ctx, message, noise)
+            assert ctx.noise_of(ctx.keygen(), ct, message) == abs(noise)
+            assert ctx.decrypt(ctx.keygen(), ct) == message, noise
+
+    def test_noise_below_budget_decrypts(self, ctx):
+        message = [1] + [0] * (ctx.params.n - 1)
+        ct = self.exact_noise_ct(ctx, message, ctx.noise_budget - 1)
+        assert ctx.decrypt(ctx.keygen(), ct) == message
+
+    def test_noise_past_budget_fails(self, ctx):
+        # budget + 1 is the first noise value that lands in the next
+        # message's decision interval: decryption must come out wrong.
+        # (Message 0: the wrapped top message enjoys q mod t extra slack
+        # on the positive side, so the bound is exact at zero.)
+        message = [0] * ctx.params.n
+        ct = self.exact_noise_ct(ctx, message, ctx.noise_budget + 1)
+        decrypted = ctx.decrypt(ctx.keygen(), ct)
+        assert decrypted[0] == 1
+        assert decrypted != message
+
+    def test_budget_is_delta_aware(self):
+        even = context(32, t=2, params=get_params("he-16bit"))
+        assert even.delta % 2 == 0
+        assert even.noise_budget == even.delta // 2 - 1
+        odd = context(33, t=3, params=get_params("he-21bit"))
+        assert odd.delta % 2 == 1
+        assert odd.noise_budget == (odd.delta - 1) // 2
+
+
+class TestRelinKey:
+    def test_digit_count(self):
+        assert relin_digit_count(61441, 64) == 3
+        assert relin_digit_count(65, 64) == 2
+        assert relin_digit_count(64, 64) == 1  # coefficients reach only 63
+        with pytest.raises(ParameterError):
+            relin_digit_count(61441, 1)
+
+    def test_default_base_keeps_three_digits(self):
+        for name in ("he-16bit", "he-21bit", "he-29bit"):
+            q = get_params(name).q
+            assert relin_digit_count(q, default_relin_base(q)) == 3
+
+    def test_components_encrypt_powers_of_s_squared(self):
+        ctx = context(40, t=2, params=get_params("he-16bit"))
+        key = ctx.keygen()
+        rlk = ctx.relin_keygen(key)
+        s_squared = key.s * key.s
+        power = 1
+        for a_i, b_i in rlk.components:
+            residual = b_i - a_i * key.s - power * s_squared
+            assert max(abs(c) for c in residual.centered()) <= ctx.noise_bound
+            power = power * rlk.base % ctx.params.q
+
+    def test_explicit_base_honored(self):
+        ctx = context(41, t=2, params=get_params("he-16bit"))
+        rlk = ctx.relin_keygen(ctx.keygen(), base=16)
+        assert rlk.base == 16
+        assert rlk.digits == relin_digit_count(ctx.params.q, 16)
+
+    def test_decompose_recomposes_exactly(self):
+        ctx = context(42, t=2, params=get_params("he-16bit"))
+        poly = Polynomial.random(ctx.params, ctx.rng)
+        digits = ctx.decompose(poly, 64)
+        assert all(max(d.coeffs) < 64 for d in digits)
+        recomposed = Polynomial.zero(ctx.params)
+        power = 1
+        for digit in digits:
+            recomposed = recomposed + power * digit
+            power = power * 64 % ctx.params.q
+        assert recomposed == poly
+
+
+class TestCiphertextMultiply:
+    # The three HE security levels of the paper, each with the widest
+    # plaintext modulus its noise budget absorbs for one ct x ct level.
+    LEVELS = (("he-16bit", 2), ("he-21bit", 4), ("he-29bit", 16))
+
+    @pytest.mark.parametrize("name,t", LEVELS)
+    def test_multiply_decrypts_on_all_parameter_sets(self, name, t):
+        ctx = context(50, t=t, params=get_params(name))
+        key = ctx.keygen()
+        rlk = ctx.relin_keygen(key)
+        m1 = rand_message(ctx, 51)
+        m2 = rand_message(ctx, 52)
+        product = ctx.multiply(ctx.encrypt(key, m1), ctx.encrypt(key, m2), rlk)
+        expected = schoolbook_negacyclic(m1, m2, ctx.t)
+        assert ctx.decrypt(key, product) == expected
+        assert ctx.noise_of(key, product, expected) <= ctx.noise_budget
+
+    def test_level_tracking(self):
+        ctx = context(53, t=2, params=get_params("he-16bit"))
+        key = ctx.keygen()
+        rlk = ctx.relin_keygen(key)
+        ct1 = ctx.encrypt(key, rand_message(ctx, 54))
+        ct2 = ctx.encrypt(key, rand_message(ctx, 55))
+        assert ct1.level == ct2.level == 0
+        product = ctx.multiply(ct1, ct2, rlk)
+        assert product.level == 1
+        # Additions and plaintext products preserve the deepest level.
+        assert (product + ct1).level == 1
+        assert ctx.add(ct1, ct2).level == 0
+        plain = [1] + [0] * (ctx.params.n - 1)
+        assert ctx.multiply_plain(product, plain).level == 1
+
+    def test_noise_grows_with_level(self):
+        ctx = context(56, t=2, params=HE29)
+        records = depth_profile(ctx, max_levels=2)
+        assert [r.level for r in records] == [1, 2]
+        assert all(r.correct for r in records)
+        assert records[0].noise < records[1].noise <= records[0].budget
+
+    def test_multiply_then_add_still_decrypts(self):
+        # The dot-product shape the serving example uses: sum of products.
+        ctx = context(57, t=4, params=HE29)
+        key = ctx.keygen()
+        rlk = ctx.relin_keygen(key)
+        m = [rand_message(ctx, 60 + i) for i in range(4)]
+        acc = ctx.multiply(ctx.encrypt(key, m[0]), ctx.encrypt(key, m[1]), rlk)
+        acc = acc + ctx.multiply(ctx.encrypt(key, m[2]), ctx.encrypt(key, m[3]), rlk)
+        expected = [
+            (a + b) % ctx.t
+            for a, b in zip(schoolbook_negacyclic(m[0], m[1], ctx.t),
+                            schoolbook_negacyclic(m[2], m[3], ctx.t))
+        ]
+        assert ctx.decrypt(key, acc) == expected
+
+    def test_mismatched_relin_key_rejected(self):
+        ctx = context(58, t=2, params=get_params("he-16bit"))
+        key = ctx.keygen()
+        rlk = ctx.relin_keygen(key)
+        truncated = RelinKey(base=rlk.base, components=rlk.components[:-1])
+        ct = ctx.encrypt(key, rand_message(ctx, 59))
+        with pytest.raises(ParameterError, match="digits"):
+            ctx.multiply(ct, ct, truncated)
+
+    def test_sixteen_bit_level_is_depth_one(self):
+        # The 16-bit modulus affords exactly one multiplicative level;
+        # the second product's noise must blow the budget (this is the
+        # motivation for the larger HE parameter sets).
+        ctx = context(61, t=2, params=get_params("he-16bit"))
+        records = depth_profile(ctx, max_levels=3)
+        assert records[0].correct
+        assert len(records) == 2 and not records[-1].correct
+
+
 class TestValidation:
     def test_cyclic_ring_rejected(self):
         with pytest.raises(ParameterError):
@@ -116,6 +295,15 @@ class TestValidation:
         key = ctx.keygen()
         with pytest.raises(ParameterError):
             ctx.encrypt(key, [0] * 3)
+
+    def test_secret_weight_bounds(self):
+        with pytest.raises(ParameterError, match="secret weight"):
+            HEContext(HE29, secret_weight=0)
+        with pytest.raises(ParameterError, match="secret weight"):
+            HEContext(HE29, secret_weight=HE29.n + 1)
+        dense = HEContext(HE29, secret_weight=HE29.n, rng=random.Random(0))
+        key = dense.keygen()
+        assert sum(1 for c in key.s.centered() if c) == HE29.n
 
     def test_repr(self):
         assert "delta=" in repr(context(21))

@@ -43,6 +43,9 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "homomorphic sum verified" in out
         assert "plaintext-weighted aggregate verified" in out
+        assert "blind score verified" in out
+        assert "10 negacyclic products" in out
+        assert "level 1" in out
 
     def test_multi_tenant_slo(self, capsys):
         run_example("multi_tenant_slo")

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.sched.slo import SLOScheduler
 from repro.serve import BatchPolicy, EnginePool, PoolConfig, ServingSimulator
+from repro.serve.batcher import PolyBatch
 
 WAIT_S = 1e-3
 
@@ -139,6 +141,45 @@ class TestTenantIsolation:
         )
         report = slo_sim(tiny_pool, quantum=4.0).replay(trace)
         assert [r.request.tenant for r in report.responses] == ["a", "a", "b", "b"]
+
+
+class _CursorTrace(SLOScheduler):
+    """SLOScheduler that records every write to the DRR resume cursor."""
+
+    def __setattr__(self, name, value):
+        if name == "_last_tenant" and value is not None:
+            self.__dict__.setdefault("cursor_writes", []).append(value)
+        super().__setattr__(name, value)
+
+
+class TestDRRCursor:
+    def test_cursor_advances_on_dispatch_only(self, tiny_pool, tiny_request):
+        # Regression: the cursor was written for every tenant that
+        # *accrued* deficit, including ones that dispatched nothing that
+        # round.  Because _drr_order runs to completion, the drift is
+        # invisible at the call boundary (the final write is always the
+        # final dispatcher), so the pin observes the write stream: a
+        # large batch that waits out rounds while its credit builds must
+        # not move the cursor until it actually dispatches.
+        scheduler = _CursorTrace(tiny_pool, BatchPolicy(max_wait_s=WAIT_S),
+                                 quantum=1.0)
+
+        def batch(tenant, request_ids):
+            made = PolyBatch(key=tiny_request(request_ids[0]).batch_key,
+                             capacity=4)
+            for request_id in request_ids:
+                made.add(tiny_request(request_id, tenant=tenant))
+            return made
+
+        small = batch("a", [0])
+        large = batch("b", [1, 2, 3])  # needs 3 rounds of quantum-1 credit
+        order = scheduler._drr_order([small, large])
+
+        assert [b.batch_id for b in order] == [small.batch_id, large.batch_id]
+        # One cursor write per dispatching tenant — not one per round:
+        # tenant b waited out two rounds and must appear exactly once.
+        assert scheduler.cursor_writes == ["a", "b"]
+        assert scheduler._last_tenant == "b"
 
 
 class TestSLOAttainment:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ParameterError
 from repro.serve import BatchPolicy, ServingSimulator, format_serve_report
-from repro.serve.metrics import aggregate, percentile
+from repro.serve.metrics import DropRecord, aggregate, percentile
 
 
 class TestPercentile:
@@ -77,3 +77,82 @@ class TestAggregate:
         assert "mean occupancy" in text
         for kind in ("intt", "ntt", "all"):
             assert any(line.startswith(kind) for line in text.splitlines())
+
+
+def drop(request_id, *, tenant="t", arrival_s=0.0, reason="queue_full",
+         had_deadline=True):
+    return DropRecord(request_id=request_id, tenant=tenant, kind="ntt",
+                      arrival_s=arrival_s, reason=reason,
+                      had_deadline=had_deadline)
+
+
+class TestOverloadEdgeCases:
+    """Attainment and tenant stats when serving collapses entirely."""
+
+    def test_all_deadline_traffic_dropped_is_zero_attainment(self):
+        # Shedding 100% of the deadline traffic must read as 0%
+        # attainment, never as a vacuous 100%.
+        drops = [drop(i, arrival_s=i * 1e-3) for i in range(4)]
+        report = aggregate([], [], total_lanes=2, busy_s=0.0, drops=drops)
+        assert report.count == 0
+        assert report.offered == 4
+        assert report.drop_rate == 1.0
+        assert report.slo_attainment == 0.0
+
+    def test_all_dropped_span_is_the_drop_window(self):
+        # With nothing served, the span falls back to the drop arrivals
+        # (and survives a single-instant window via the epsilon floor).
+        drops = [drop(i, arrival_s=0.2 + i * 0.1) for i in range(3)]
+        report = aggregate([], [], total_lanes=2, busy_s=0.0, drops=drops)
+        assert report.span_s == pytest.approx(0.2)
+        assert report.throughput_rps == 0.0
+        assert report.utilization == 0.0
+        instant = aggregate([], [], total_lanes=1, busy_s=0.0,
+                            drops=[drop(0), drop(1)])
+        assert instant.span_s > 0  # no division by zero downstream
+
+    def test_all_dropped_overall_row_is_zeroed(self):
+        report = aggregate([], [], total_lanes=1, busy_s=0.0, drops=[drop(0)])
+        assert [k.kind for k in report.by_kind] == ["all"]
+        assert report.overall.count == 0
+        assert report.overall.p99_ms == 0.0
+        text = format_serve_report(report)
+        assert "dropped 1/1" in text
+
+    def test_tenant_with_zero_served_requests(self):
+        # A tenant whose every request was shed still gets a stats row:
+        # zeroed latency/energy, full drop accounting, 0% attainment.
+        drops = [drop(i, tenant="shed") for i in range(3)]
+        report = aggregate([], [], total_lanes=1, busy_s=0.0, drops=drops)
+        (tenant,) = report.by_tenant
+        assert tenant.tenant == "shed"
+        assert (tenant.offered, tenant.served, tenant.dropped) == (3, 0, 3)
+        assert tenant.drop_rate == 1.0
+        assert tenant.mean_ms == 0.0 and tenant.p99_ms == 0.0
+        assert tenant.energy_per_request_nj == 0.0
+        assert tenant.slo_attainment == 0.0
+
+    def test_best_effort_drops_do_not_fake_attainment(self):
+        # Dropped requests that never carried a deadline leave
+        # attainment at its vacuous 1.0 — only deadline traffic counts.
+        drops = [drop(0, had_deadline=False), drop(1, had_deadline=False)]
+        report = aggregate([], [], total_lanes=1, busy_s=0.0, drops=drops)
+        assert report.slo_attainment == 1.0
+        (tenant,) = report.by_tenant
+        assert tenant.slo_attainment == 1.0
+
+    def test_mixed_tenants_one_all_dropped(self, tiny_pool, tiny_request):
+        # End-to-end shape: tenant "b"'s only request is shed while the
+        # served tenant ("ntt", the request's default) keeps its row;
+        # b's row must not inherit the served tenant's latency numbers.
+        simulator = ServingSimulator(tiny_pool, BatchPolicy(max_wait_s=1e-3))
+        report = simulator.replay([tiny_request(0)])
+        merged = aggregate(
+            report.responses, report.batches, total_lanes=2,
+            busy_s=0.0, drops=[drop(99, tenant="b")],
+        )
+        stats = {t.tenant: t for t in merged.by_tenant}
+        assert stats["ntt"].served == 1 and stats["ntt"].dropped == 0
+        assert stats["b"].served == 0 and stats["b"].dropped == 1
+        assert stats["b"].mean_ms == 0.0
+        assert stats["ntt"].mean_ms > 0.0

@@ -1,7 +1,10 @@
 """Request/response records, validation, and the crypto adapters."""
 
+import random
+
 import pytest
 
+from repro.crypto.he import HEContext
 from repro.errors import ParameterError
 from repro.ntt.params import get_params
 from repro.ntt.transform import intt_negacyclic, ntt_negacyclic, polymul_negacyclic
@@ -11,6 +14,7 @@ from repro.serve.request import (
     dilithium_ntt_request,
     gold_result,
     he_multiply_plain_requests,
+    he_multiply_requests,
     kyber_polymul_request,
 )
 
@@ -115,6 +119,79 @@ class TestAdapters:
         assert pair[0].batch_key == pair[1].batch_key
         assert all(r.kind == "he" for r in pair)
         assert pair[0].payload != pair[1].payload
+
+
+class TestHEMultiplyAdapter:
+    @pytest.fixture(scope="class")
+    def trail(self):
+        ctx = HEContext(get_params("he-16bit"), plaintext_modulus=2,
+                        rng=random.Random(5))
+        key = ctx.keygen()
+        rlk = ctx.relin_keygen(key)
+        ct2 = ctx.encrypt(key, [1] * ctx.params.n)  # long-lived operand ct
+        fresh = [ctx.encrypt(key, [i % 2 for i in range(ctx.params.n)]),
+                 ctx.encrypt(key, [0] * ctx.params.n)]
+        calls = [
+            he_multiply_requests(ctx, ct, ct2, rlk, request_id=100 * n,
+                                 arrival_s=0.25 * n)
+            for n, ct in enumerate(fresh)
+        ]
+        return ctx, rlk, ct2, calls
+
+    def test_constituent_product_count_and_ids(self, trail):
+        _, rlk, _, calls = trail
+        for n, call in enumerate(calls):
+            assert len(call) == 4 + 2 * rlk.digits
+            assert [r.request_id for r in call] == \
+                list(range(100 * n, 100 * n + len(call)))
+            assert all(r.op == "polymul" for r in call)
+            assert all(r.kind == "he-mul" for r in call)
+            assert all(r.arrival_s == 0.25 * n for r in call)
+
+    def test_tensor_products_ride_the_operand_ciphertext(self, trail):
+        _, _, ct2, calls = trail
+        u2, v2 = tuple(ct2.u.coeffs), tuple(ct2.v.coeffs)
+        call = calls[0]
+        assert [r.operand for r in call[:4]] == [v2, v2, u2, u2]
+        ct1_u, ct1_v = call[1].payload, call[0].payload
+        assert call[2].payload == ct1_v and call[3].payload == ct1_u
+
+    def test_relin_products_pair_digits_with_key_halves(self, trail):
+        ctx, rlk, _, calls = trail
+        relin = calls[0][4:]
+        for i, (a_i, b_i) in enumerate(rlk.components):
+            pair = relin[2 * i: 2 * i + 2]
+            # Both key halves multiply the same digit payload...
+            assert pair[0].payload == pair[1].payload
+            assert max(pair[0].payload) < rlk.base
+            # ...and the operands are the key components themselves.
+            assert pair[0].operand == tuple(a_i.coeffs)
+            assert pair[1].operand == tuple(b_i.coeffs)
+
+    def test_products_coalesce_across_calls(self, trail):
+        # Two calls with different fresh ciphertexts produce the same
+        # multiset of batch keys: every product rides key material.
+        _, _, _, calls = trail
+        keys = [sorted(r.batch_key for r in call) for call in calls]
+        assert keys[0] == keys[1]
+        payloads = [{r.payload for r in call} for call in calls]
+        assert payloads[0] != payloads[1]
+
+    def test_params_mismatch_rejected(self, trail):
+        ctx, rlk, ct2, _ = trail
+        with pytest.raises(ParameterError, match="does not match"):
+            he_multiply_requests(ctx, ct2, ct2, rlk, request_id=0,
+                                 params_name="he-29bit")
+
+    def test_truncated_relin_key_rejected(self, trail):
+        # A key the scheme itself would reject must not silently shrink
+        # the trail (the report would undercount the call's products).
+        from repro.crypto.he import RelinKey
+
+        ctx, rlk, ct2, _ = trail
+        truncated = RelinKey(base=rlk.base, components=rlk.components[:-1])
+        with pytest.raises(ParameterError, match="digits"):
+            he_multiply_requests(ctx, ct2, ct2, truncated, request_id=0)
 
 
 class TestResponse:

@@ -2,15 +2,24 @@
 
 import pytest
 
+from repro.crypto.he import default_relin_base, relin_digit_count
 from repro.errors import ParameterError
 from repro.ntt.params import get_params
-from repro.serve.workload import SCENARIOS, Scenario, bursty_trace, poisson_trace
+from repro.serve.workload import (
+    SCENARIOS,
+    MixComponent,
+    Scenario,
+    _materialize,
+    bursty_trace,
+    poisson_trace,
+)
 
 
 class TestScenarios:
     def test_known_scenarios(self):
         assert set(SCENARIOS) == {
-            "ntt", "kyber", "dilithium", "he", "mixed", "mixed-slo"
+            "ntt", "kyber", "dilithium", "he", "he-mul", "mixed",
+            "mixed-slo", "mixed-deep",
         }
 
     def test_weights_validated(self):
@@ -21,6 +30,22 @@ class TestScenarios:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ParameterError, match="unknown scenario"):
             poisson_trace("no-such-mix", 100, 0.1)
+
+    def test_operand_schedule_validated(self):
+        with pytest.raises(ParameterError, match="requires polymul"):
+            MixComponent("x", "ntt", "he-16bit", 1.0, operand_pool=2,
+                         operand_schedule=(0, 1))
+        with pytest.raises(ParameterError, match="outside pool"):
+            MixComponent("x", "polymul", "he-16bit", 1.0, operand_pool=2,
+                         operand_schedule=(0, 2))
+        with pytest.raises(ParameterError, match="empty"):
+            MixComponent("x", "polymul", "he-16bit", 1.0, operand_pool=2,
+                         operand_schedule=())
+
+    def test_schedule_fixes_requests_per_call(self):
+        comp = MixComponent("x", "polymul", "he-16bit", 1.0, operand_pool=3,
+                            operand_schedule=(2, 0, 1, 0))
+        assert comp.requests_per_call == 4
 
 
 class TestPoisson:
@@ -118,6 +143,61 @@ class TestBursty:
         rate, duration = 2000.0, 2.0
         trace = bursty_trace("ntt", rate, duration, seed=2023)
         assert abs(len(trace) / (rate * duration) - 1.0) < 0.05
+
+
+class TestSharedOperandPerCall:
+    def test_components_share_one_pool_draw(self):
+        # Regression: with operand_pool > 1, the per-request draw handed
+        # the two component requests of one logical HE call *different*
+        # plaintext operands — contradicting he_multiply_plain_requests'
+        # contract and splitting their shared batch key.
+        import random
+
+        component = MixComponent("he", "polymul", "kyber-v1", 1.0,
+                                 operand_pool=2, requests_per_call=2)
+        scenario = Scenario("he-pool2", (component,))
+        arrivals = [i * 1e-3 for i in range(24)]
+        trace = _materialize(scenario, arrivals, random.Random(3))
+        assert len(trace) == 48
+        for first, second in zip(trace[0::2], trace[1::2]):
+            assert first.arrival_s == second.arrival_s
+            assert first.operand == second.operand
+            assert first.batch_key == second.batch_key
+        # Both pool operands are still exercised across calls.
+        assert len({r.operand for r in trace}) == 2
+
+
+class TestHeMulScenario:
+    DIGITS = relin_digit_count(
+        get_params("he-16bit").q, default_relin_base(get_params("he-16bit").q)
+    )
+
+    def test_call_shape(self):
+        per_call = 4 + 2 * self.DIGITS
+        trace = poisson_trace("he-mul", 120, 0.05, seed=9)
+        assert trace and len(trace) % per_call == 0
+        assert all(r.kind == "he-mul" and r.op == "polymul" for r in trace)
+        calls = [trace[i:i + per_call] for i in range(0, len(trace), per_call)]
+        for call in calls:
+            assert len({r.arrival_s for r in call}) == 1
+            # Tensor: two products against each operand-ciphertext half.
+            tensor = [r.operand for r in call[:4]]
+            assert tensor[0] == tensor[1] and tensor[2] == tensor[3]
+            assert tensor[0] != tensor[2]
+            # Relin: every key component is touched exactly once.
+            relin = [r.operand for r in call[4:]]
+            assert len(set(relin)) == 2 * self.DIGITS
+
+    def test_products_coalesce_across_calls(self):
+        # The whole trail rides long-lived key material: the number of
+        # distinct batch keys over the trace equals one call's pool use.
+        trace = poisson_trace("he-mul", 120, 0.1, seed=10)
+        assert len({r.batch_key for r in trace}) == 2 + 2 * self.DIGITS
+
+    def test_mixed_deep_mixes_all_kinds(self):
+        trace = poisson_trace("mixed-deep", 2000, 0.2, seed=4)
+        assert {r.kind for r in trace} == {"kyber", "dilithium", "he", "he-mul"}
+        assert all(r.deadline_s is None for r in trace)
 
 
 class TestSLOScenario:

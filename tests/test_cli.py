@@ -9,7 +9,8 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for cmd in ("table1", "fig1", "fig6", "fig7", "fig8a", "fig8b",
-                    "verify", "breakdown", "scaling", "serve", "backends"):
+                    "verify", "breakdown", "scaling", "serve", "backends",
+                    "hedepth"):
             args = parser.parse_args([cmd] if cmd != "verify" else [cmd, "--trials", "1"])
             assert args.command == cmd
 
@@ -69,6 +70,27 @@ class TestParser:
         assert args.scheduler == "fifo"
         assert args.slo_ms is None
         assert args.queue_limit is None
+
+    def test_hedepth_flags(self):
+        args = build_parser().parse_args(
+            ["hedepth", "--set", "he-16bit", "--set", "he-29bit",
+             "--levels", "2", "--plaintext-modulus", "4", "--seed", "7"]
+        )
+        assert args.sets == ["he-16bit", "he-29bit"]
+        assert args.levels == 2
+        assert args.plaintext_modulus == 4
+        assert args.seed == 7
+
+    def test_hedepth_defaults_cover_all_sets(self):
+        args = build_parser().parse_args(["hedepth"])
+        assert args.sets is None  # resolved to all three at run time
+        assert args.plaintext_modulus == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["hedepth", "--set", "kyber-v1"])
+
+    def test_serve_he_mul_scenario_parses(self):
+        args = build_parser().parse_args(["serve", "--scenario", "he-mul"])
+        assert args.scenario == "he-mul"
 
     def test_verify_backend_flag(self):
         args = build_parser().parse_args(["verify", "--backend", "sram"])
@@ -163,6 +185,12 @@ class TestCheapCommands:
                   "--scheduler", "adaptive", "--queue-limit", "8"])
         assert excinfo.value.code == 2
         assert "unknown options" in capsys.readouterr().err
+
+    def test_hedepth_single_level(self, capsys):
+        main(["hedepth", "--set", "he-16bit", "--levels", "1", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "he-16bit" in out and "Budget" in out
+        assert "1 multiplicative level(s) within budget" in out
 
     def test_backends_listing(self, capsys):
         from repro.backends import available_backends
