@@ -1,0 +1,73 @@
+"""Shared machine-readable benchmark output: ``BENCH_<name>.json``.
+
+Every bench that matters for trend tracking writes one JSON artifact
+through :func:`write_bench_json` next to its text table in
+``benchmarks/out/``.  The schema is deliberately small and stable so a
+CI run can archive the files and a later session can diff them:
+
+.. code-block:: json
+
+    {
+      "schema": 1,
+      "name": "obs",
+      "scenario": "mixed-slo bursty 6000/s seed 42",
+      "git_rev": "827fd92",
+      "metrics": {"p99_ms": 3.31, "overhead_frac": 0.04}
+    }
+
+``metrics`` is flat name -> number; anything needing structure belongs
+in the text artifact.  ``git_rev`` is best-effort (``"unknown"``
+outside a git checkout) so the file never fails to write.
+"""
+
+import json
+import numbers
+import pathlib
+import subprocess
+from typing import Dict, Optional, Union
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+Number = Union[int, float]
+
+
+def git_rev() -> str:
+    """The short commit hash of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def write_bench_json(name: str, scenario: str, metrics: Dict[str, Number],
+                     out_dir: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Write ``BENCH_<name>.json``; returns the path written.
+
+    ``metrics`` must be flat and numeric — the point of the artifact is
+    diffable trend lines, so structure is rejected loudly rather than
+    silently serialized.
+    """
+    for key, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, numbers.Real):
+            raise TypeError(
+                f"BENCH metric {key!r} must be a plain number, got "
+                f"{type(value).__name__}"
+            )
+    out = pathlib.Path(out_dir) if out_dir is not None else OUT_DIR
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{name}.json"
+    payload = {
+        "schema": 1,
+        "name": name,
+        "scenario": scenario,
+        "git_rev": git_rev(),
+        "metrics": {k: metrics[k] for k in sorted(metrics)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -28,6 +28,7 @@ run: ``pytest benchmarks/bench_he_depth.py -s``.
 import argparse
 import random
 
+from _bench_json import write_bench_json
 from repro.crypto.he import (
     HEContext,
     default_relin_base,
@@ -156,16 +157,37 @@ def format_serve_summary(report) -> str:
 
 
 def run(param_sets, duration_s):
+    """Returns (rendered text, flat BENCH_he_depth.json metrics)."""
     pool = EnginePool(PoolConfig(size=2))
-    noise = format_noise_table(noise_rows(param_sets))
-    pricing = format_pricing_table(pricing_rows(pool, param_sets))
-    serve = format_serve_summary(serve_he_mul(pool, duration_s))
-    return "\n\n".join([noise, pricing, serve])
+    noise = noise_rows(param_sets)
+    pricing = pricing_rows(pool, param_sets)
+    report = serve_he_mul(pool, duration_s)
+    text = "\n\n".join([
+        format_noise_table(noise),
+        format_pricing_table(pricing),
+        format_serve_summary(report),
+    ])
+    metrics = {}
+    for name in param_sets:
+        short = name.replace("he-", "").replace("bit", "")
+        metrics[f"depth_{short}bit"] = sum(
+            1 for n, r in noise if n == name and r.within_budget
+        )
+    for row in pricing:
+        short = row["set"].replace("he-", "").replace("bit", "")
+        metrics[f"level_nj_{short}bit"] = row["level_nj"]
+    metrics["serve_p99_ms"] = report.overall.p99_ms
+    metrics["serve_energy_nj"] = report.overall.energy_per_request_nj
+    metrics["serve_occupancy"] = report.mean_occupancy
+    return text, metrics
 
 
 def test_he_depth(artifact_writer):
-    text = run(PARAM_SETS, SERVE_DURATION_S)
+    text, metrics = run(PARAM_SETS, SERVE_DURATION_S)
     artifact_writer("he_depth", text)
+    write_bench_json("he_depth",
+                     f"{SERVE_SCENARIO} poisson {SERVE_RATE:g}/s seed {SEED}",
+                     metrics)
     # The depth claim the README states: deeper rings buy more levels.
     rows = noise_rows(PARAM_SETS)
     depth = {
@@ -182,9 +204,15 @@ def main() -> None:
                         help="CI smoke: 16-bit ring only, short trace")
     args = parser.parse_args()
     if args.quick:
-        print(run(("he-16bit",), QUICK_DURATION_S))
+        text, metrics = run(("he-16bit",), QUICK_DURATION_S)
     else:
-        print(run(PARAM_SETS, SERVE_DURATION_S))
+        text, metrics = run(PARAM_SETS, SERVE_DURATION_S)
+    print(text)
+    path = write_bench_json(
+        "he_depth", f"{SERVE_SCENARIO} poisson {SERVE_RATE:g}/s seed {SEED}",
+        metrics,
+    )
+    print(f"\nwrote {path}")
 
 
 if __name__ == "__main__":

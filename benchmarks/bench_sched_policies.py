@@ -26,6 +26,7 @@ full run: ``pytest benchmarks/bench_sched_policies.py -s``.
 import argparse
 from typing import Dict
 
+from _bench_json import write_bench_json
 from repro.serve import (
     BatchPolicy,
     EnginePool,
@@ -88,6 +89,25 @@ def format_table(reports) -> str:
     return "\n".join(lines)
 
 
+def bench_metrics(reports) -> Dict[str, float]:
+    """The flat BENCH_sched.json trend metrics (see ``_bench_json``)."""
+    fixed = [r for name, r in reports.items() if name.startswith("fifo")]
+    adaptive = reports["adaptive"]
+    slo = reports["slo"]
+    return {
+        "best_fixed_p99_ms": min(r.overall.p99_ms for r in fixed),
+        "best_fixed_energy_nj": min(
+            r.overall.energy_per_request_nj for r in fixed
+        ),
+        "adaptive_p99_ms": adaptive.overall.p99_ms,
+        "adaptive_energy_nj": adaptive.overall.energy_per_request_nj,
+        "adaptive_occupancy": adaptive.mean_occupancy,
+        "slo_drop_rate": slo.drop_rate,
+        "slo_attainment": slo.slo_attainment,
+        "slo_max_queue_depth": slo.max_queue_depth,
+    }
+
+
 def assert_adaptive_dominates(reports) -> None:
     """The acceptance bar: adaptive >= every fixed window on both axes."""
     fixed = [r for name, r in reports.items() if name.startswith("fifo")]
@@ -107,6 +127,8 @@ def assert_adaptive_dominates(reports) -> None:
 def test_sched_policies(artifact_writer):
     reports = run_policies(DURATION_S)
     artifact_writer("sched_policies", format_table(reports))
+    write_bench_json("sched", f"{SCENARIO} bursty {RATE:g}/s seed {SEED}",
+                     bench_metrics(reports))
     assert_adaptive_dominates(reports)
     # The SLO run must be loss-accounted: everything offered is either
     # served or in the drop set, and the drop set is deterministic.
@@ -125,6 +147,10 @@ def main() -> None:
     duration = QUICK_DURATION_S if args.quick else DURATION_S
     reports = run_policies(duration)
     print(format_table(reports))
+    path = write_bench_json("sched",
+                            f"{SCENARIO} bursty {RATE:g}/s seed {SEED}",
+                            bench_metrics(reports))
+    print(f"\nwrote {path}")
     if not args.quick:
         # The short smoke trace has too few bursts to saturate the
         # lanes, so the domination claim is only asserted on the full

@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli verify            # differential campaigns
     python -m repro.cli breakdown         # butterfly cycle breakdown
     python -m repro.cli serve             # request-level serving simulation
+    python -m repro.cli trace t.json      # per-stage latency breakdown
     python -m repro.cli backends          # registered execution backends
     python -m repro.cli hedepth           # HE noise per multiplicative level
 
@@ -23,6 +24,15 @@ ciphertext-ciphertext products (each call lowered into its tensor and
 relinearization products); ``hedepth`` charts the noise those products
 accumulate per multiplicative level on the paper's three HE parameter
 sets.
+
+Observability (:mod:`repro.obs`): ``serve --trace-out t.json`` records
+the full request lifecycle and writes a Chrome-trace JSON (load it in
+Perfetto / ``chrome://tracing``; ``.jsonl`` extension writes raw JSONL
+events instead), ``--metrics-out m.prom`` dumps the replay's metrics
+registry in Prometheus text format, and ``trace <file>`` reads either
+trace format back and prints the per-stage latency breakdown
+(admission / batching / lane-wait / service) for the p50/p95/p99
+requests plus critical-path attribution.
 
 All output goes to stdout; the heavy targets (table1, serve with HE
 traffic) run the cycle-level simulator or compile large programs and
@@ -185,7 +195,12 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             pool, policy, backend=args.backend,
             scheduler=args.scheduler, scheduler_options=scheduler_options,
         )
-        report = simulator.replay(trace)
+        tracer = None
+        if args.trace_out is not None:
+            from repro.obs import RecordingTracer
+
+            tracer = RecordingTracer()
+        report = simulator.replay(trace, tracer=tracer)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         sys.exit(2)
@@ -198,6 +213,32 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     )
     print()
     print(format_serve_report(report))
+    if tracer is not None:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        if args.trace_out.endswith(".jsonl"):
+            write_jsonl(tracer.events, args.trace_out)
+        else:
+            write_chrome_trace(tracer.events, args.trace_out)
+        print(f"\nwrote {len(tracer.events)} trace events to {args.trace_out}")
+    if args.metrics_out is not None:
+        from repro.obs import write_prometheus
+
+        write_prometheus(report.registry, args.metrics_out)
+        print(f"wrote {len(report.registry)} metric series to {args.metrics_out}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from repro.errors import ReproError
+    from repro.obs import load_timelines, summarize_trace
+
+    quantiles = tuple(args.quantiles) if args.quantiles else (50, 95, 99)
+    try:
+        timelines = load_timelines(args.path)
+        print(summarize_trace(timelines, quantiles=quantiles))
+    except (ReproError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        sys.exit(2)
 
 
 #: The paper's HE security levels, in depth order.
@@ -268,6 +309,7 @@ _COMMANDS = {
     "breakdown": _cmd_breakdown,
     "scaling": _cmd_scaling,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "backends": _cmd_backends,
     "hedepth": _cmd_hedepth,
 }
@@ -310,14 +352,17 @@ def build_parser() -> argparse.ArgumentParser:
                              default="poisson", help="arrival process")
             cmd.add_argument("--backend", "--mode", dest="backend",
                              choices=backend_names, default="model",
-                             help="execution backend (see `repro.cli backends`); "
-                                  "--mode is the deprecated spelling")
+                             help="execution backend, one of: "
+                                  f"{', '.join(backend_names)} "
+                                  "(default model; `repro.cli backends` "
+                                  "describes each; --mode is the "
+                                  "deprecated spelling)")
             cmd.add_argument("--scheduler", choices=scheduler_names,
                              default="fifo",
-                             help="serving scheduler: fifo (fixed window, "
-                                  "per-parameter lanes), slo (admission + "
-                                  "deadlines + tenant fairness), adaptive "
-                                  "(load-aware window, shared lanes)")
+                             help="serving scheduler, one of: "
+                                  f"{', '.join(scheduler_names)} "
+                                  "(default fifo; any name registered in "
+                                  "repro.sched appears here)")
             cmd.add_argument("--slo-ms", type=float, default=None,
                              help="uniform latency budget (ms) for requests "
                                   "without a scenario-declared deadline")
@@ -326,7 +371,27 @@ def build_parser() -> argparse.ArgumentParser:
                                   "before admission drops (scheduler "
                                   "default 64); rejected by schedulers "
                                   "that never drop")
+            cmd.add_argument("--trace-out", default=None, metavar="PATH",
+                             help="record the request lifecycle and write a "
+                                  "Chrome-trace JSON here (Perfetto-loadable; "
+                                  "a .jsonl extension writes raw JSONL "
+                                  "events instead)")
+            cmd.add_argument("--metrics-out", default=None, metavar="PATH",
+                             help="write the replay's metrics registry here "
+                                  "in Prometheus text format")
             cmd.add_argument("--seed", type=int, default=2023)
+            continue
+        if name == "trace":
+            cmd = sub.add_parser(
+                name, help="per-stage latency breakdown of a recorded trace"
+            )
+            cmd.add_argument("path",
+                             help="trace file from `serve --trace-out` "
+                                  "(Chrome JSON or JSONL)")
+            cmd.add_argument("--quantile", dest="quantiles", action="append",
+                             type=int, default=None, metavar="Q",
+                             help="latency percentile to break down "
+                                  "(repeatable; default 50, 95, 99)")
             continue
         if name == "backends":
             sub.add_parser(name, help="list registered execution backends")

@@ -1,0 +1,87 @@
+"""repro.obs — request-lifecycle tracing, metrics and exporters.
+
+The serving stack (``repro.serve`` / ``repro.sched``) makes every
+latency- and energy-relevant decision on a simulated clock; this
+package makes those decisions *observable* without perturbing them:
+
+- :mod:`repro.obs.tracer` — the :class:`Tracer` protocol and the span
+  events every layer emits across the request lifecycle (``arrive ->
+  admit/drop -> enqueue -> batch_open -> dispatch -> lane_start ->
+  lane_finish -> respond``), with a :class:`NullTracer` default whose
+  absence-of-effect is pinned by byte-identical report goldens, and a
+  bridge for :mod:`repro.sram.tracer`'s program-level detail.
+- :mod:`repro.obs.registry` — counters / gauges / histograms keyed by
+  ``subsystem.name`` with tenant/kind/lane labels; the serve report is
+  a view over these instruments.
+- :mod:`repro.obs.exporters` — JSONL event logs, Chrome-trace JSON
+  (open in Perfetto: lanes as tracks, batches as slices) and a
+  Prometheus text dump.
+- :mod:`repro.obs.summary` — ``repro.cli trace``: per-stage latency
+  breakdown for the p50/p95/p99 requests and critical-path
+  attribution.
+
+The disassembly/trace utilities of :mod:`repro.sram.tracer`
+(:func:`disassemble`, :class:`TracingExecutor`) are re-exported here so
+program-level and request-level tracing share one import surface.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace,
+    format_prometheus,
+    read_jsonl,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.summary import (
+    STAGES,
+    RequestTimeline,
+    load_timelines,
+    summarize_trace,
+)
+from repro.obs.tracer import (
+    AUX_PHASES,
+    LIFECYCLE_PHASES,
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+    program_events,
+)
+from repro.sram.tracer import TracingExecutor, disassemble
+
+__all__ = [
+    "AUX_PHASES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LIFECYCLE_PHASES",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "RequestTimeline",
+    "STAGES",
+    "TraceEvent",
+    "Tracer",
+    "TracingExecutor",
+    "chrome_trace",
+    "disassemble",
+    "format_prometheus",
+    "load_timelines",
+    "program_events",
+    "read_jsonl",
+    "summarize_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

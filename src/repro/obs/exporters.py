@@ -1,0 +1,248 @@
+"""Exporters: JSONL event logs, Chrome-trace JSON, Prometheus text.
+
+Three consumers, three formats, one event stream:
+
+- :func:`to_jsonl` / :func:`write_jsonl` — the raw
+  :class:`~repro.obs.tracer.TraceEvent` stream, one JSON object per
+  line, in emission order.  The machine-readable ground truth;
+  ``repro.cli trace`` reads it back.
+- :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format JSON that Perfetto / ``chrome://tracing`` loads: lanes are
+  tracks (pid 0, one tid per lane) carrying batch slices and nested
+  program-level slices; requests are async spans (pid 1) whose begin /
+  instant / end events mark the lifecycle phases.  Timestamps are the
+  replay's simulated microseconds.
+- :func:`format_prometheus` / :func:`write_prometheus` — the registry's
+  instruments as a Prometheus text-format dump (``# TYPE`` headers,
+  labeled series, ``_bucket``/``_sum``/``_count`` for histograms).
+
+All writers are pure functions over the recorded events/instruments;
+they run after the replay, so exporting can never perturb it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import TraceEvent
+
+# -- JSONL -------------------------------------------------------------------
+
+
+def to_jsonl(events: Sequence[TraceEvent]) -> str:
+    """One compact JSON object per event, in emission order."""
+    return "\n".join(
+        json.dumps(asdict(e), separators=(",", ":"), sort_keys=True)
+        for e in events
+    )
+
+
+def write_jsonl(events: Sequence[TraceEvent], path) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_jsonl(events) + "\n")
+
+
+def read_jsonl(path) -> List[TraceEvent]:
+    """Parse a JSONL event log back into :class:`TraceEvent` records."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent(**json.loads(line)))
+    return events
+
+
+# -- Chrome trace format -----------------------------------------------------
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def _lane_label(lane: int) -> str:
+    return f"lane {lane}"
+
+
+def chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, object]:
+    """The Trace Event Format document for one recorded replay.
+
+    Layout:
+
+    - pid 0 (``lanes``): one thread per lane.  Every batch is a
+      complete-event slice from its ``lane_start`` to ``lane_finish``,
+      named after the batch and parameter set, with size / occupancy /
+      energy in ``args``.  ``program`` events (bridged subarray detail)
+      render as sub-slices on the same thread.
+    - pid 1 (``requests``): one async span per request id, begun at
+      ``arrive``, ended at ``respond`` (or ``drop``), with the
+      intermediate phases as async instants.  The end event's ``args``
+      carry the stage timestamps (``dispatched_s``, ``start_s``) so a
+      summary can rebuild the full latency breakdown from this file
+      alone.
+    """
+    trace_events: List[Dict[str, object]] = [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+         "args": {"name": "lanes"}},
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+         "args": {"name": "requests"}},
+    ]
+    lanes_seen: Dict[int, None] = {}
+
+    # Batch slices need lane_start/lane_finish pairs plus the dispatch
+    # event's metadata; join the three streams on batch_id.
+    lane_start: Dict[int, TraceEvent] = {}
+    lane_finish: Dict[int, TraceEvent] = {}
+    dispatch: Dict[int, TraceEvent] = {}
+    for e in events:
+        if e.phase == "lane_start" and e.batch_id is not None:
+            lane_start[e.batch_id] = e
+        elif e.phase == "lane_finish" and e.batch_id is not None:
+            lane_finish[e.batch_id] = e
+        elif e.phase == "dispatch" and e.batch_id is not None:
+            dispatch[e.batch_id] = e
+
+    for batch_id, start in sorted(lane_start.items()):
+        finish = lane_finish.get(batch_id)
+        if finish is None:
+            continue
+        meta = dispatch.get(batch_id)
+        args: Dict[str, object] = {"batch_id": batch_id}
+        name = f"batch {batch_id}"
+        if meta is not None:
+            args.update(meta.attrs)
+            params = meta.attrs.get("params", "")
+            op = meta.attrs.get("op", "")
+            if params:
+                name = f"batch {batch_id} {params}.{op}"
+        lane = start.lane if start.lane is not None else 0
+        lanes_seen.setdefault(lane, None)
+        trace_events.append({
+            "name": name,
+            "cat": "batch",
+            "ph": "X",
+            "ts": start.t_s * _US,
+            "dur": max((finish.t_s - start.t_s) * _US, 0.0),
+            "pid": 0,
+            "tid": lane,
+            "args": args,
+        })
+
+    # Program-level sub-slices (subarray detail under a lane slice).
+    for e in events:
+        if e.phase != "program":
+            continue
+        lane = e.lane if e.lane is not None else 0
+        lanes_seen.setdefault(lane, None)
+        trace_events.append({
+            "name": str(e.attrs.get("text", "instruction")),
+            "cat": "program",
+            "ph": "X",
+            "ts": e.t_s * _US,
+            "dur": float(e.attrs.get("duration_s", 0.0)) * _US,
+            "pid": 0,
+            "tid": lane,
+            "args": {k: v for k, v in e.attrs.items()
+                     if k not in ("text", "duration_s")},
+        })
+
+    # Request lifecycle as async spans keyed by request id.
+    for e in events:
+        if e.request_id is None or e.phase == "profile":
+            continue
+        base: Dict[str, object] = {
+            "cat": "request",
+            "id": e.request_id,
+            "pid": 1,
+            "tid": 0,
+            "ts": e.t_s * _US,
+        }
+        if e.phase == "arrive":
+            base.update(ph="b", name="request",
+                        args={"kind": e.kind, "tenant": e.tenant})
+        elif e.phase in ("respond", "drop"):
+            args = dict(e.attrs)
+            args["phase"] = e.phase
+            if e.batch_id is not None:
+                args["batch_id"] = e.batch_id
+            if e.lane is not None:
+                args["lane"] = e.lane
+            base.update(ph="e", name="request", args=args)
+        else:
+            base.update(ph="n", name=e.phase, args=dict(e.attrs))
+        trace_events.append(base)
+
+    for lane in sorted(lanes_seen):
+        trace_events.append({
+            "ph": "M", "pid": 0, "tid": lane, "name": "thread_name",
+            "args": {"name": _lane_label(lane)},
+        })
+
+    return {"displayTimeUnit": "ms", "traceEvents": trace_events}
+
+
+def write_chrome_trace(events: Sequence[TraceEvent], path) -> None:
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(events), handle, indent=1)
+        handle.write("\n")
+
+
+# -- Prometheus text format --------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels, extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = list(labels) + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _prom_number(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def format_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as a Prometheus text-format exposition."""
+    lines: List[str] = []
+    typed: Dict[str, None] = {}
+    for inst in registry.collect():
+        name = _prom_name(inst.name)
+        if name not in typed:
+            typed[name] = None
+            lines.append(f"# TYPE {name} {inst.kind}")
+        if isinstance(inst, Counter):
+            lines.append(f"{name}{_prom_labels(inst.labels)} "
+                         f"{_prom_number(inst.value)}")
+        elif isinstance(inst, Gauge):
+            lines.append(f"{name}{_prom_labels(inst.labels)} "
+                         f"{_prom_number(inst.value)}")
+        elif isinstance(inst, Histogram):
+            for bound, count in inst.bucket_counts():
+                le = "+Inf" if math.isinf(bound) else _prom_number(bound)
+                lines.append(
+                    f"{name}_bucket{_prom_labels(inst.labels, {'le': le})} "
+                    f"{count}"
+                )
+            lines.append(f"{name}_sum{_prom_labels(inst.labels)} "
+                         f"{_prom_number(inst.sum)}")
+            lines.append(f"{name}_count{_prom_labels(inst.labels)} "
+                         f"{inst.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path) -> None:
+    with open(path, "w") as handle:
+        handle.write(format_prometheus(registry))

@@ -1,0 +1,208 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+Instruments are keyed by a ``subsystem.name`` metric name plus a frozen
+label set (``tenant=...``, ``kind=...``, ``lane=...``); asking for the
+same (name, labels) pair twice returns the same instrument, so every
+serving layer can increment shared series without coordination.  The
+registry is the single source the serve report reads from
+(:func:`repro.serve.metrics.aggregate` backfills and then *views* it)
+and the Prometheus exporter dumps.
+
+Three deliberate departures from a production metrics client keep the
+numbers exact:
+
+- Histograms retain their raw observations (these are replay-sized
+  series, not unbounded production streams), so percentile queries use
+  the same nearest-rank arithmetic as the legacy report path and the
+  registry-backed report is byte-identical to the list-based one it
+  replaced.  Bucketing happens only at export time.
+- Counter/histogram sums accumulate left-to-right in observation
+  order, matching ``sum(list)`` exactly — float-for-float.
+- Gauges can carry a *timeline* (``sample(t, v)``): the queue-depth
+  trajectory is a first-class series, with last-write-wins on equal
+  timestamps exactly as the simulator recorded it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ParameterError
+
+#: A label set frozen for dict keying: sorted (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _check_name(name: str) -> str:
+    if not name or any(c.isspace() for c in name):
+        raise ParameterError(f"metric name must be non-empty, got {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ParameterError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value, optionally with a timestamped timeline."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.samples: List[Tuple[float, float]] = []
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def sample(self, t_s: float, value: Union[int, float]) -> None:
+        """Record (t, value); same-timestamp samples overwrite (the
+        last decision at an instant is the instant's state)."""
+        self.value = value
+        if self.samples and self.samples[-1][0] == t_s:
+            self.samples[-1] = (t_s, value)
+        else:
+            self.samples.append((t_s, value))
+
+    @property
+    def max_sample(self) -> float:
+        return max((v for _, v in self.samples), default=0.0)
+
+
+#: Default export buckets (milliseconds-friendly decades); histograms
+#: keep raw values, so buckets only shape the Prometheus dump.
+DEFAULT_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+
+class Histogram:
+    """Raw-observation histogram with exact percentile queries."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ParameterError(
+                f"histogram {name} buckets must be strictly increasing"
+            )
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(buckets)
+        self.values: List[float] = []
+        self.sum = 0.0
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.values.append(value)
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the raw observations."""
+        from repro.serve.metrics import percentile
+
+        return percentile(self.values, q)
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative (upper-bound, count) pairs, ending with +inf."""
+        out = []
+        for bound in self.buckets:
+            out.append((bound, sum(1 for v in self.values if v <= bound)))
+        out.append((float("inf"), len(self.values)))
+        return out
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """All instruments of one replay (or one process), keyed by name+labels."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Instrument] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def _get(self, cls, name: str, labels: Optional[Mapping[str, str]],
+             **kwargs) -> Instrument:
+        key = (_check_name(name), _label_key(labels))
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ParameterError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"cannot re-register as {cls.kind}"
+                )
+            return existing
+        instrument = cls(key[0], key[1], **kwargs)
+        self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str,
+                labels: Optional[Mapping[str, str]] = None) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str,
+              labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  labels: Optional[Mapping[str, str]] = None,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def collect(self) -> List[Instrument]:
+        """Every instrument, sorted by (name, labels) for stable export."""
+        return [
+            self._instruments[key] for key in sorted(self._instruments)
+        ]
+
+    def get(self, name: str,
+            labels: Optional[Mapping[str, str]] = None) -> Optional[Instrument]:
+        """The instrument at (name, labels), or None if never touched."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def series(self, name: str) -> List[Instrument]:
+        """Every labeled instrument of one metric name, label-sorted."""
+        return [
+            inst for (n, _), inst in sorted(self._instruments.items())
+            if n == name
+        ]
+
+    def label_values(self, name: str, label: str) -> List[str]:
+        """Distinct values one label takes across a metric's series."""
+        seen: Dict[str, None] = {}
+        for inst in self.series(name):
+            for k, v in inst.labels:
+                if k == label:
+                    seen.setdefault(v, None)
+        return list(seen)

@@ -43,6 +43,7 @@ import itertools
 from typing import List, Optional
 
 from repro.errors import SchedulerError
+from repro.obs.tracer import NULL_TRACER, TraceEvent
 from repro.sched.base import GlobalLanePool, LaneReport, Placement
 from repro.serve.batcher import BatchPolicy, CoalescingBatcher, PolyBatch
 from repro.serve.request import Request
@@ -91,6 +92,13 @@ class AdaptiveScheduler:
             id_factory=itertools.count().__next__,
         )
         self._now = 0.0
+        self.tracer = NULL_TRACER
+
+    def bind_tracer(self, tracer) -> None:
+        """Route this replay's lifecycle events through ``tracer``."""
+        self.tracer = tracer
+        self._batcher.tracer = tracer
+        self._lanes.tracer = tracer
 
     # -- the load-scaled window -------------------------------------------
 
@@ -126,6 +134,15 @@ class AdaptiveScheduler:
         self._now = now_s
         self._lanes.ensure(request.params_name)
         full = self._batcher.add(request)
+        if self.tracer.enabled:
+            batch = full if full is not None \
+                else self._batcher.open_batch(request.batch_key)
+            self.tracer.emit(TraceEvent(
+                phase="enqueue", t_s=now_s, request_id=request.request_id,
+                batch_id=None if batch is None else batch.batch_id,
+                kind=request.kind, tenant=request.tenant,
+                attrs={"window_s": self.window_s()},
+            ))
         if full is not None:
             return [full]
         # Early dispatch happens in poll(), never here: arrivals at one
@@ -196,7 +213,8 @@ class AdaptiveScheduler:
 
     def place(self, batch: PolyBatch, now_s: float) -> Placement:
         latency = self.pool.profile(batch.key, backend=self.backend).latency_s
-        return self._lanes.placement(batch.key[0], now_s, latency)
+        return self._lanes.placement(batch.key[0], now_s, latency,
+                                     batch_id=batch.batch_id)
 
     def lane_report(self) -> LaneReport:
         return self._lanes.report()

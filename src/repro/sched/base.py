@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Set, Tuple, runtime_checkable
 
 from repro.errors import SchedulerError
+from repro.obs.tracer import NULL_TRACER, TraceEvent
 from repro.serve.batcher import PolyBatch
 from repro.serve.request import Request
 
@@ -118,6 +119,14 @@ class Scheduler(Protocol):
         """Total lanes and busy seconds accumulated over the replay."""
         ...  # pragma: no cover - protocol
 
+    # Schedulers may additionally implement ``bind_tracer(tracer)`` —
+    # the simulator calls it (when present) before each replay so the
+    # scheduler, its batcher and its lane pool emit lifecycle events
+    # (enqueue / batch_open / lane_start / lane_finish) through the
+    # replay's :class:`repro.obs.Tracer`.  It is deliberately not part
+    # of the structural protocol: a third-party scheduler without it is
+    # still valid, it just contributes no events.
+
 
 class GlobalLanePool:
     """Physical lanes as one globally shared, deterministic resource.
@@ -142,6 +151,10 @@ class GlobalLanePool:
         self.last_params: Dict[int, Optional[str]] = {}
         self.busy_s = 0.0
         self._known: Set[str] = set()
+        # Bound by the owning scheduler's bind_tracer; lane_start /
+        # lane_finish events are emitted at placement time (the finish
+        # instant is already known on the simulated clock).
+        self.tracer = NULL_TRACER
 
     def __len__(self) -> int:
         return len(self.free_at)
@@ -171,23 +184,25 @@ class GlobalLanePool:
         """When the next lane frees up (inf for an empty pool)."""
         return min(self.free_at.values(), default=float("inf"))
 
-    def placement(self, params_name: str, now_s: float,
-                  latency_s: float) -> Placement:
+    def placement(self, params_name: str, now_s: float, latency_s: float,
+                  *, batch_id: Optional[int] = None) -> Placement:
         """:meth:`place` wrapped as the scheduler-protocol result.
 
         ``pool_lane`` folds the global index onto the pool's cached
         backend instances (interchangeable within a parameter set) —
         the one mapping both global schedulers must agree on.
+        ``batch_id`` only labels the emitted lane events.
         """
-        lane, start = self.place(params_name, now_s, latency_s)
+        lane, start = self.place(params_name, now_s, latency_s,
+                                 batch_id=batch_id)
         return Placement(
             lane=lane,
             pool_lane=lane % self.lanes_per_params,
             start_s=start,
         )
 
-    def place(self, params_name: str, now_s: float,
-              latency_s: float) -> Tuple[int, float]:
+    def place(self, params_name: str, now_s: float, latency_s: float,
+              *, batch_id: Optional[int] = None) -> Tuple[int, float]:
         """Pick a lane, commit its busy window; returns (lane, start)."""
         self.ensure(params_name)
         idle = [g for g in sorted(self.free_at) if self.free_at[g] <= now_s]
@@ -201,6 +216,16 @@ class GlobalLanePool:
         self.free_at[lane] = start + latency_s
         self.last_params[lane] = params_name
         self.busy_s += latency_s
+        if self.tracer.enabled:
+            attrs = {"params": params_name}
+            self.tracer.emit(TraceEvent(
+                phase="lane_start", t_s=start, lane=lane,
+                batch_id=batch_id, attrs=attrs,
+            ))
+            self.tracer.emit(TraceEvent(
+                phase="lane_finish", t_s=start + latency_s, lane=lane,
+                batch_id=batch_id, attrs=attrs,
+            ))
         return lane, start
 
     def report(self) -> LaneReport:

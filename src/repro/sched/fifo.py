@@ -15,6 +15,7 @@ import itertools
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SchedulerError
+from repro.obs.tracer import NULL_TRACER, TraceEvent
 from repro.sched.base import LaneReport, Placement
 from repro.serve.batcher import BatchPolicy, CoalescingBatcher, PolyBatch
 from repro.serve.request import Request
@@ -44,6 +45,12 @@ class FifoScheduler:
         # Per-replay round-robin state (the pool's own counter would
         # leak phase between replays and break report determinism).
         self._rr: Dict[str, int] = {}
+        self.tracer = NULL_TRACER
+
+    def bind_tracer(self, tracer) -> None:
+        """Route this replay's lifecycle events through ``tracer``."""
+        self.tracer = tracer
+        self._batcher.tracer = tracer
 
     # -- admission and queueing -------------------------------------------
 
@@ -52,6 +59,14 @@ class FifoScheduler:
 
     def enqueue(self, request: Request, now_s: float) -> List[PolyBatch]:
         full = self._batcher.add(request)
+        if self.tracer.enabled:
+            batch = full if full is not None \
+                else self._batcher.open_batch(request.batch_key)
+            self.tracer.emit(TraceEvent(
+                phase="enqueue", t_s=now_s, request_id=request.request_id,
+                batch_id=None if batch is None else batch.batch_id,
+                kind=request.kind, tenant=request.tenant,
+            ))
         return [full] if full is not None else []
 
     def waiting(self) -> int:
@@ -79,6 +94,16 @@ class FifoScheduler:
         latency = self.pool.profile(batch.key, backend=self.backend).latency_s
         self._free_at[lane_key] = start + latency
         self._busy_s[lane_key] = self._busy_s.get(lane_key, 0.0) + latency
+        if self.tracer.enabled:
+            attrs = {"params": params_name}
+            self.tracer.emit(TraceEvent(
+                phase="lane_start", t_s=start, lane=lane,
+                batch_id=batch.batch_id, attrs=attrs,
+            ))
+            self.tracer.emit(TraceEvent(
+                phase="lane_finish", t_s=start + latency, lane=lane,
+                batch_id=batch.batch_id, attrs=attrs,
+            ))
         return Placement(lane=lane, pool_lane=lane, start_s=start)
 
     def lane_report(self) -> LaneReport:

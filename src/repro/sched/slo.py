@@ -37,6 +37,7 @@ import itertools
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import SchedulerError
+from repro.obs.tracer import NULL_TRACER, TraceEvent
 from repro.sched.base import GlobalLanePool, LaneReport, Placement
 from repro.serve.batcher import BatchPolicy, CoalescingBatcher, PolyBatch
 from repro.serve.request import Request
@@ -85,6 +86,13 @@ class SLOScheduler:
         self._tenant_waiting: Dict[str, int] = {}
         self._deficit: Dict[str, float] = {}
         self._last_tenant: Optional[str] = None
+        self.tracer = NULL_TRACER
+
+    def bind_tracer(self, tracer) -> None:
+        """Route this replay's lifecycle events through ``tracer``."""
+        self.tracer = tracer
+        self._batcher.tracer = tracer
+        self._lanes.tracer = tracer
 
     # -- weighted shares ---------------------------------------------------
 
@@ -127,6 +135,17 @@ class SLOScheduler:
         self._tenant_waiting[request.tenant] = \
             self._tenant_waiting.get(request.tenant, 0) + 1
         full = self._batcher.add(request)
+        if self.tracer.enabled:
+            batch = full if full is not None else self._batcher.open_batch(
+                (request.tenant, request.batch_key)
+            )
+            self.tracer.emit(TraceEvent(
+                phase="enqueue", t_s=now_s, request_id=request.request_id,
+                batch_id=None if batch is None else batch.batch_id,
+                kind=request.kind, tenant=request.tenant,
+                attrs={"tenant_waiting":
+                       self._tenant_waiting[request.tenant]},
+            ))
         if full is not None:
             self._tenant_waiting[request.tenant] -= full.size
             return [full]
@@ -217,7 +236,8 @@ class SLOScheduler:
 
     def place(self, batch: PolyBatch, now_s: float) -> Placement:
         return self._lanes.placement(
-            batch.key[0], now_s, self._service_s(batch.key)
+            batch.key[0], now_s, self._service_s(batch.key),
+            batch_id=batch.batch_id,
         )
 
     def lane_report(self) -> LaneReport:

@@ -30,6 +30,7 @@ from repro.serve.metrics import (
     ServeReport,
     TenantStats,
     format_serve_report,
+    serialize_report,
 )
 from repro.serve.pool import EnginePool, PoolConfig
 from repro.serve.request import (
@@ -65,4 +66,5 @@ __all__ = [
     "he_multiply_requests",
     "kyber_polymul_request",
     "poisson_trace",
+    "serialize_report",
 ]

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import CapacityError, ParameterError
+from repro.obs.tracer import NULL_TRACER, TraceEvent
 from repro.serve.request import Request
 
 _batch_ids = itertools.count()
@@ -128,6 +129,12 @@ class CoalescingBatcher:
         self._id_factory = id_factory or (lambda: next(_batch_ids))
         self._group_of = group_of or (lambda request: request.batch_key)
         self._open: Dict[tuple, PolyBatch] = {}
+        # Observability seam: schedulers bind the replay's tracer here
+        # (see Scheduler.bind_tracer); batch_open events mark the
+        # batch-formation stage of the request lifecycle.  Emission is
+        # append-only and never read back, so it cannot perturb
+        # coalescing decisions.
+        self.tracer = NULL_TRACER
 
     def __len__(self) -> int:
         """Requests currently waiting in open batches."""
@@ -144,10 +151,24 @@ class CoalescingBatcher:
             batch = PolyBatch(key=request.batch_key, capacity=capacity,
                               batch_id=self._id_factory())
             self._open[group] = batch
+            if self.tracer.enabled:
+                self.tracer.emit(TraceEvent(
+                    phase="batch_open",
+                    t_s=request.arrival_s,
+                    batch_id=batch.batch_id,
+                    kind=request.kind,
+                    tenant=request.tenant,
+                    attrs={"params": request.params_name, "op": request.op,
+                           "capacity": capacity},
+                ))
         batch.add(request)
         if batch.full:
             return self._open.pop(group)
         return None
+
+    def open_batch(self, group: tuple) -> Optional[PolyBatch]:
+        """The batch currently open for ``group`` (None when closed)."""
+        return self._open.get(group)
 
     def open_items(self) -> List[tuple]:
         """The (group, batch) pairs currently open, insertion-ordered.

@@ -9,14 +9,26 @@ per-tenant breakdowns, and the queue-depth timeline.  The text report
 follows the fixed-width style of
 :func:`repro.analysis.tables.format_table1` so serve output sits next
 to the paper artifacts.
+
+Since the observability layer arrived (``repro.obs``), every number
+here flows through a :class:`~repro.obs.registry.MetricsRegistry`:
+:func:`aggregate` backfills labeled counters/gauges/histograms from
+the raw records and then computes the report *from the instruments* —
+the :class:`ServeReport` is a view over the registry it carries, and
+the registry is what the Prometheus exporter dumps.  The instruments
+preserve the legacy arithmetic exactly (left-to-right sums, raw-value
+nearest-rank percentiles), so the registry-backed report is
+byte-identical to the list-based one it replaced.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ParameterError
+from repro.obs.registry import Histogram, MetricsRegistry
 from repro.serve.request import Response
 
 
@@ -107,6 +119,12 @@ class ServeReport:
     by_tenant: List[TenantStats] = field(default_factory=list)
     queue_depth: List[Tuple[float, int]] = field(default_factory=list)
     scheduler: str = "fifo"
+    #: The instruments every scalar above was computed from.  Excluded
+    #: from equality: two replays are the same replay when their
+    #: measured numbers agree, whichever registry they flowed through.
+    registry: Optional[MetricsRegistry] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def count(self) -> int:
@@ -156,46 +174,110 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[int(rank) - 1]
 
 
-def _kind_stats(kind: str, responses: Sequence[Response]) -> KindStats:
-    latencies_ms = [r.latency_s * 1e3 for r in responses]
+def _backfill_registry(registry: MetricsRegistry,
+                       responses: Sequence[Response],
+                       batches: Sequence[BatchRecord],
+                       drops: Sequence[DropRecord], *,
+                       total_lanes: int, busy_s: float, span_s: float,
+                       queue_depth: Sequence[Tuple[float, int]]) -> None:
+    """Feed a replay's raw records into registry instruments.
+
+    Observation order is record order, so every histogram's running sum
+    reproduces ``sum(list)`` float-for-float and the report computed
+    from the instruments is byte-identical to the legacy list math.
+    """
+    for r in responses:
+        kind_l = {"kind": r.request.kind}
+        tenant_l = {"tenant": r.request.tenant}
+        registry.counter("serve.requests").inc()
+        registry.counter("serve.requests", kind_l).inc()
+        registry.histogram("serve.latency_ms").observe(r.latency_s * 1e3)
+        registry.histogram("serve.latency_ms", kind_l).observe(r.latency_s * 1e3)
+        registry.histogram("serve.queue_s", kind_l).observe(r.queue_s)
+        registry.histogram("serve.queue_s").observe(r.queue_s)
+        registry.histogram("serve.service_s", kind_l).observe(r.service_s)
+        registry.histogram("serve.service_s").observe(r.service_s)
+        registry.histogram("serve.energy_nj", kind_l).observe(r.energy_nj)
+        registry.histogram("serve.energy_nj").observe(r.energy_nj)
+        registry.counter("serve.tenant_served", tenant_l).inc()
+        registry.histogram("serve.tenant_latency_ms",
+                           tenant_l).observe(r.latency_s * 1e3)
+        registry.histogram("serve.tenant_energy_nj",
+                           tenant_l).observe(r.energy_nj)
+        if r.request.deadline_s is not None:
+            registry.counter("serve.deadline_offered", tenant_l).inc()
+            if r.finish_s <= r.request.deadline_s:
+                registry.counter("serve.deadline_met", tenant_l).inc()
+    for d in drops:
+        tenant_l = {"tenant": d.tenant}
+        registry.counter("serve.dropped").inc()
+        registry.counter("serve.dropped", {"reason": d.reason}).inc()
+        registry.counter("serve.tenant_dropped", tenant_l).inc()
+        if d.had_deadline:
+            # A shed deadline request is an offered-and-missed SLO.
+            registry.counter("serve.deadline_offered", tenant_l).inc()
+    for b in batches:
+        registry.counter("sched.batches").inc()
+        registry.counter("sched.batches", {"lane": str(b.lane)}).inc()
+        registry.histogram("sched.batch_occupancy").observe(b.occupancy)
+        registry.counter("sched.padded_slots").inc(b.capacity - b.size)
+        registry.counter("sched.batch_slots").inc(b.capacity)
+        registry.counter("serve.energy_total_nj").inc(b.energy_nj)
+    registry.gauge("sched.lanes").set(total_lanes)
+    registry.gauge("sched.busy_s").set(busy_s)
+    registry.gauge("serve.span_s").set(span_s)
+    depth = registry.gauge("sched.queue_depth")
+    if not depth.samples:
+        # Standalone aggregate() calls pass the timeline as a list; the
+        # simulator's gauge is already populated and wins untouched.
+        for t_s, value in queue_depth:
+            depth.sample(t_s, value)
+
+
+def _kind_view(registry: MetricsRegistry, kind: str,
+               labels: Optional[Dict[str, str]]) -> KindStats:
+    """One ``by_kind`` row, read entirely from the instruments."""
+    lat = registry.histogram("serve.latency_ms", labels)
+    queue = registry.histogram("serve.queue_s", labels)
+    service = registry.histogram("serve.service_s", labels)
+    energy = registry.histogram("serve.energy_nj", labels)
     return KindStats(
         kind=kind,
-        count=len(responses),
-        mean_ms=sum(latencies_ms) / len(latencies_ms),
-        p50_ms=percentile(latencies_ms, 50),
-        p95_ms=percentile(latencies_ms, 95),
-        p99_ms=percentile(latencies_ms, 99),
-        mean_queue_ms=sum(r.queue_s for r in responses) / len(responses) * 1e3,
-        mean_service_ms=sum(r.service_s for r in responses) / len(responses) * 1e3,
-        energy_per_request_nj=sum(r.energy_nj for r in responses) / len(responses),
+        count=lat.count,
+        mean_ms=lat.sum / lat.count,
+        p50_ms=lat.percentile(50),
+        p95_ms=lat.percentile(95),
+        p99_ms=lat.percentile(99),
+        mean_queue_ms=queue.sum / queue.count * 1e3,
+        mean_service_ms=service.sum / service.count * 1e3,
+        energy_per_request_nj=energy.sum / energy.count,
     )
 
 
-def _tenant_stats(tenant: str, responses: Sequence[Response],
-                  drops: Sequence[DropRecord]) -> TenantStats:
-    served = len(responses)
-    dropped = len(drops)
-    latencies_ms = [r.latency_s * 1e3 for r in responses]
-    with_deadline = [r for r in responses if r.request.deadline_s is not None]
-    offered_deadlines = len(with_deadline) + sum(
-        1 for d in drops if d.had_deadline
-    )
-    if offered_deadlines:
-        attainment = sum(
-            1 for r in with_deadline if r.finish_s <= r.request.deadline_s
-        ) / offered_deadlines
-    else:
-        attainment = 1.0
+def _tenant_view(registry: MetricsRegistry, tenant: str) -> TenantStats:
+    """One ``by_tenant`` row, read entirely from the instruments."""
+    labels = {"tenant": tenant}
+
+    def count_of(name: str) -> int:
+        inst = registry.get(name, labels)
+        return int(inst.value) if inst is not None else 0
+
+    served = count_of("serve.tenant_served")
+    dropped = count_of("serve.tenant_dropped")
+    offered_deadlines = count_of("serve.deadline_offered")
+    met = count_of("serve.deadline_met")
+    lat = registry.get("serve.tenant_latency_ms", labels)
+    energy = registry.get("serve.tenant_energy_nj", labels)
     return TenantStats(
         tenant=tenant,
         offered=served + dropped,
         served=served,
         dropped=dropped,
-        mean_ms=sum(latencies_ms) / served if served else 0.0,
-        p99_ms=percentile(latencies_ms, 99) if served else 0.0,
-        slo_attainment=attainment,
+        mean_ms=lat.sum / served if isinstance(lat, Histogram) else 0.0,
+        p99_ms=lat.percentile(99) if isinstance(lat, Histogram) else 0.0,
+        slo_attainment=(met / offered_deadlines if offered_deadlines else 1.0),
         energy_per_request_nj=(
-            sum(r.energy_nj for r in responses) / served if served else 0.0
+            energy.sum / served if isinstance(energy, Histogram) else 0.0
         ),
     )
 
@@ -204,8 +286,15 @@ def aggregate(responses: List[Response], batches: List[BatchRecord], *,
               total_lanes: int, busy_s: float,
               drops: Sequence[DropRecord] = (),
               queue_depth: Sequence[Tuple[float, int]] = (),
-              scheduler: str = "fifo") -> ServeReport:
-    """Roll a replay's raw records up into a :class:`ServeReport`."""
+              scheduler: str = "fifo",
+              registry: Optional[MetricsRegistry] = None) -> ServeReport:
+    """Roll a replay's raw records up into a :class:`ServeReport`.
+
+    The records are backfilled into ``registry`` (a fresh one when not
+    given — the simulator passes its own, queue-depth gauge included)
+    and every report number is then computed *from the instruments*,
+    so the returned report is a view over the registry it carries.
+    """
     drops = list(drops)
     if not responses and not drops:
         raise ParameterError("cannot aggregate an empty replay")
@@ -217,41 +306,52 @@ def aggregate(responses: List[Response], batches: List[BatchRecord], *,
         first_arrival = min(d.arrival_s for d in drops)
         last_finish = max(d.arrival_s for d in drops)
     span = max(last_finish - first_arrival, 1e-12)
-    kinds: Dict[str, List[Response]] = {}
-    for r in responses:
-        kinds.setdefault(r.request.kind, []).append(r)
-    by_kind = [_kind_stats(kind, rs) for kind, rs in sorted(kinds.items())]
+    if registry is None:
+        registry = MetricsRegistry()
+    _backfill_registry(registry, responses, batches, drops,
+                       total_lanes=total_lanes, busy_s=busy_s, span_s=span,
+                       queue_depth=queue_depth)
+    kinds = sorted(registry.label_values("serve.latency_ms", "kind"))
+    by_kind = [_kind_view(registry, kind, {"kind": kind}) for kind in kinds]
     by_kind.append(
-        _kind_stats("all", responses) if responses
+        _kind_view(registry, "all", None) if responses
         else KindStats("all", 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
     )
-    tenants: Dict[str, Tuple[List[Response], List[DropRecord]]] = {}
-    for r in responses:
-        tenants.setdefault(r.request.tenant, ([], []))[0].append(r)
-    for d in drops:
-        tenants.setdefault(d.tenant, ([], []))[1].append(d)
-    by_tenant = [
-        _tenant_stats(tenant, rs, ds)
-        for tenant, (rs, ds) in sorted(tenants.items())
-    ]
-    padded_slots = sum(b.capacity - b.size for b in batches)
-    total_slots = sum(b.capacity for b in batches)
+    tenants = sorted(
+        set(registry.label_values("serve.tenant_served", "tenant"))
+        | set(registry.label_values("serve.tenant_dropped", "tenant"))
+    )
+    by_tenant = [_tenant_view(registry, tenant) for tenant in tenants]
+    occupancy = registry.get("sched.batch_occupancy")
+    padded = registry.get("sched.padded_slots")
+    slots = registry.get("sched.batch_slots")
+    energy_total = registry.get("serve.energy_total_nj")
+    utilization = busy_s / (total_lanes * span)
+    throughput = len(responses) / span
+    registry.gauge("serve.utilization").set(utilization)
+    registry.gauge("serve.throughput_rps").set(throughput)
     return ServeReport(
         responses=responses,
         batches=batches,
         span_s=span,
-        throughput_rps=len(responses) / span,
-        utilization=busy_s / (total_lanes * span),
+        throughput_rps=throughput,
+        utilization=utilization,
         mean_occupancy=(
-            sum(b.occupancy for b in batches) / len(batches) if batches else 0.0
+            occupancy.sum / occupancy.count
+            if isinstance(occupancy, Histogram) and occupancy.count else 0.0
         ),
-        padding_fraction=padded_slots / total_slots if total_slots else 0.0,
-        total_energy_nj=sum(b.energy_nj for b in batches),
+        padding_fraction=(
+            padded.value / slots.value
+            if padded is not None and slots is not None and slots.value
+            else 0.0
+        ),
+        total_energy_nj=energy_total.value if energy_total is not None else 0.0,
         by_kind=by_kind,
         drops=drops,
         by_tenant=by_tenant,
-        queue_depth=list(queue_depth),
+        queue_depth=list(registry.gauge("sched.queue_depth").samples),
         scheduler=scheduler,
+        registry=registry,
     )
 
 
@@ -304,3 +404,77 @@ def format_serve_report(report: ServeReport) -> str:
                 f"{t.energy_per_request_nj:>10.2f}"
             )
     return "\n".join(lines)
+
+
+def _jsonable(value):
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def _key_summary(key: tuple):
+    """A batch key with the operand compacted to a stable digest.
+
+    Full operands are whole polynomials (kilobytes each in a golden
+    file); their length + CRC pins identity just as hard for the
+    parity comparison.
+    """
+    params_name, op, operand = key
+    if operand is None:
+        return [params_name, op, None]
+    import zlib
+
+    digest = zlib.crc32(repr(operand).encode())
+    return [params_name, op, {"len": len(operand), "crc32": digest}]
+
+
+def serialize_report(report: ServeReport) -> str:
+    """Canonical JSON for a report — the golden-file comparison form.
+
+    Every measured number is included (responses and batches down to
+    per-request start/finish/energy), floats via ``repr`` round-trip,
+    keys sorted — so two byte-identical replays serialize to the same
+    string, and the tracing-parity goldens can pin a whole report in
+    one checked-in file.  The registry is deliberately excluded: it is
+    *how* the numbers were computed, not a measurement of its own.
+    """
+    payload = {
+        "scheduler": report.scheduler,
+        "span_s": report.span_s,
+        "throughput_rps": report.throughput_rps,
+        "utilization": report.utilization,
+        "mean_occupancy": report.mean_occupancy,
+        "padding_fraction": report.padding_fraction,
+        "total_energy_nj": report.total_energy_nj,
+        "count": report.count,
+        "offered": report.offered,
+        "drop_rate": report.drop_rate,
+        "slo_attainment": report.slo_attainment,
+        "max_queue_depth": report.max_queue_depth,
+        "queue_depth": _jsonable(report.queue_depth),
+        "by_kind": [_jsonable(vars(k)) for k in report.by_kind],
+        "by_tenant": [_jsonable(vars(t)) for t in report.by_tenant],
+        "drops": [_jsonable(vars(d)) for d in report.drops],
+        "batches": [
+            {**_jsonable(vars(b)), "key": _key_summary(b.key)}
+            for b in report.batches
+        ],
+        "responses": [
+            {
+                "request_id": r.request.request_id,
+                "kind": r.request.kind,
+                "tenant": r.request.tenant,
+                "key": _key_summary(r.request.batch_key),
+                "start_s": r.start_s,
+                "finish_s": r.finish_s,
+                "energy_nj": r.energy_nj,
+                "engine_index": r.engine_index,
+                "batch_size": r.batch_size,
+                "batch_padding": r.batch_padding,
+            }
+            for r in report.responses
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

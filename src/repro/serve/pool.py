@@ -39,6 +39,7 @@ from repro.backends.base import Backend
 from repro.core.engine import BPNTTEngine
 from repro.errors import ParameterError
 from repro.ntt.params import get_params
+from repro.obs.tracer import NULL_TRACER, TraceEvent
 from repro.serve.batcher import PolyBatch
 from repro.sram.cost import CostReport
 from repro.sram.energy import TECH_45NM, TechnologyModel
@@ -124,6 +125,10 @@ class EnginePool:
         self._lanes: Dict[Tuple[str, str], List[Backend]] = {}
         self._profiles: Dict[Tuple[str, tuple], ServiceProfile] = {}
         self._rr: Dict[str, int] = {}
+        # The simulator binds the replay's tracer here; profile events
+        # record each Backend.profile pricing (cache misses only —
+        # profiles are cached for the life of the pool).
+        self.tracer = NULL_TRACER
 
     # -- construction and caching ----------------------------------------
 
@@ -232,6 +237,17 @@ class EnginePool:
                     profile = existing
                     break
             self._profiles[cache_key] = profile
+            if self.tracer.enabled:
+                # Pricing has no place on the trace clock; profile
+                # events sit at t=0 and carry the cost facts.
+                self.tracer.emit(TraceEvent(
+                    phase="profile", t_s=0.0,
+                    attrs={"backend": backend, "params": params_name,
+                           "op": op, "cycles": profile.cycles,
+                           "energy_nj": profile.energy_nj,
+                           "latency_s": profile.latency_s,
+                           "capacity": profile.capacity},
+                ))
         return self._profiles[cache_key]
 
     # -- serving -----------------------------------------------------------

@@ -24,6 +24,8 @@ import warnings
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ParameterError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
 from repro.serve.batcher import BatchPolicy, PolyBatch
 from repro.serve.metrics import BatchRecord, DropRecord, ServeReport, aggregate
 from repro.serve.pool import MODE_DEPRECATION, EnginePool
@@ -72,8 +74,19 @@ class ServingSimulator:
             backend=self.backend, **self.scheduler_options,
         )
 
-    def replay(self, requests: Sequence[Request]) -> ServeReport:
-        """Serve a full trace; returns the aggregated report."""
+    def replay(self, requests: Sequence[Request], *,
+               tracer: Optional[Tracer] = None) -> ServeReport:
+        """Serve a full trace; returns the aggregated report.
+
+        ``tracer`` receives the request-lifecycle span events (see
+        :mod:`repro.obs`): the simulator emits arrive / admit / drop /
+        dispatch / respond here, the scheduler and its batcher and lane
+        pool add enqueue / batch_open / lane_start / lane_finish, and
+        the engine pool adds profile events.  The default
+        :class:`~repro.obs.NullTracer` is free, and no tracer can
+        perturb the replay — emission is strictly write-only.
+        """
+        tracer = NULL_TRACER if tracer is None else tracer
         trace = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         seen = set()
         for r in trace:
@@ -82,17 +95,20 @@ class ServingSimulator:
             seen.add(r.request_id)
 
         scheduler = self._make_scheduler()
+        bind_tracer = getattr(scheduler, "bind_tracer", None)
+        if bind_tracer is not None:
+            bind_tracer(tracer)
+        # The pool outlives replays; (re)bind its tracer every time so a
+        # traced replay never leaks events into the next untraced one.
+        self.pool.tracer = tracer
+        registry = MetricsRegistry()
+        depth_gauge = registry.gauge("sched.queue_depth")
         responses: List[Response] = []
         batches: List[BatchRecord] = []
         drops: List[DropRecord] = []
-        timeline: List[Tuple[float, int]] = []
 
         def record_depth(now_s: float) -> None:
-            depth = scheduler.waiting()
-            if timeline and timeline[-1][0] == now_s:
-                timeline[-1] = (now_s, depth)
-            else:
-                timeline.append((now_s, depth))
+            depth_gauge.sample(now_s, scheduler.waiting())
 
         def dispatch(batch: PolyBatch, now_s: float) -> None:
             placement = scheduler.place(batch, now_s)
@@ -106,6 +122,14 @@ class ServingSimulator:
             # profile.capacity slots even when the policy caps the batch
             # below it, and energy is charged accordingly.
             physical_padding = profile.capacity - batch.size
+            if tracer.enabled:
+                tracer.emit(TraceEvent(
+                    phase="dispatch", t_s=now_s, batch_id=batch.batch_id,
+                    lane=placement.lane,
+                    attrs={"params": batch.key[0], "op": batch.key[1],
+                           "size": batch.size, "capacity": profile.capacity,
+                           "start_s": start, "energy_nj": profile.energy_nj},
+                ))
             for request, result in zip(batch.requests, results):
                 responses.append(
                     Response(
@@ -119,6 +143,16 @@ class ServingSimulator:
                         batch_padding=physical_padding,
                     )
                 )
+                if tracer.enabled:
+                    tracer.emit(TraceEvent(
+                        phase="respond", t_s=finish,
+                        request_id=request.request_id,
+                        batch_id=batch.batch_id, lane=placement.lane,
+                        kind=request.kind, tenant=request.tenant,
+                        attrs={"dispatched_s": now_s, "start_s": start,
+                               "energy_nj": energy_per_request,
+                               "batch_size": batch.size},
+                    ))
             batches.append(
                 BatchRecord(
                     batch_id=batch.batch_id,
@@ -140,8 +174,24 @@ class ServingSimulator:
             if index < len(trace) and next_arrival <= wakeup:
                 request = trace[index]
                 index += 1
+                if tracer.enabled:
+                    tracer.emit(TraceEvent(
+                        phase="arrive", t_s=request.arrival_s,
+                        request_id=request.request_id,
+                        kind=request.kind, tenant=request.tenant,
+                        attrs={"params": request.params_name,
+                               "op": request.op,
+                               "deadline_s": request.deadline_s},
+                    ))
                 reason = scheduler.admit(request, request.arrival_s)
                 if reason is not None:
+                    if tracer.enabled:
+                        tracer.emit(TraceEvent(
+                            phase="drop", t_s=request.arrival_s,
+                            request_id=request.request_id,
+                            kind=request.kind, tenant=request.tenant,
+                            attrs={"reason": reason},
+                        ))
                     drops.append(
                         DropRecord(
                             request_id=request.request_id,
@@ -153,6 +203,12 @@ class ServingSimulator:
                         )
                     )
                 else:
+                    if tracer.enabled:
+                        tracer.emit(TraceEvent(
+                            phase="admit", t_s=request.arrival_s,
+                            request_id=request.request_id,
+                            kind=request.kind, tenant=request.tenant,
+                        ))
                     for batch in scheduler.enqueue(request, request.arrival_s):
                         dispatch(batch, request.arrival_s)
                 record_depth(request.arrival_s)
@@ -175,6 +231,7 @@ class ServingSimulator:
             total_lanes=lanes.total_lanes,
             busy_s=lanes.busy_s,
             drops=drops,
-            queue_depth=timeline,
+            queue_depth=depth_gauge.samples,
             scheduler=getattr(scheduler, "name", str(self.scheduler)),
+            registry=registry,
         )

@@ -97,13 +97,20 @@ def disassemble(program: Program, limit: Optional[int] = None) -> str:
 
 @dataclass(frozen=True)
 class TraceEntry:
-    """State delta of one executed instruction."""
+    """State delta of one executed instruction.
+
+    ``cycle_cost`` is the cycles this one instruction charged (from the
+    executor's technology model) — what lets
+    :func:`repro.obs.tracer.program_events` place the entries on a
+    wall-clock axis next to the serving-layer lifecycle events.
+    """
 
     index: int
     text: str
     changed_rows: tuple
     flags: int
     latch: int
+    cycle_cost: int = 0
 
 
 class TracingExecutor(Executor):
@@ -121,6 +128,7 @@ class TracingExecutor(Executor):
 
     def execute(self, instruction) -> None:
         before = self.subarray.storage.snapshot()
+        cycles_before = self.stats.cycles
         super().execute(instruction)
         after = self.subarray.storage.snapshot()
         changed = tuple(
@@ -133,6 +141,7 @@ class TracingExecutor(Executor):
                 changed_rows=changed,
                 flags=self.subarray.flags,
                 latch=self.subarray.latch,
+                cycle_cost=self.stats.cycles - cycles_before,
             )
         )
         self._counter += 1

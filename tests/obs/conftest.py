@@ -1,0 +1,53 @@
+"""Shared fixtures for the observability tests: the tiny serve ring.
+
+Mirrors ``tests/serve/conftest.py`` — a 16-point ring over q = 97
+compiles in milliseconds and exercises every code path — under a
+distinct reserved name so the two suites never collide.
+"""
+
+import pytest
+
+from repro.ntt.params import STANDARD_PARAMS, NTTParams
+from repro.serve import EnginePool, PoolConfig
+from repro.serve.request import Request
+
+TINY_NAME = "tiny-obs-test"
+TINY_N = 16
+TINY_Q = 97
+
+
+@pytest.fixture
+def tiny_name():
+    STANDARD_PARAMS[TINY_NAME] = NTTParams(n=TINY_N, q=TINY_Q,
+                                           name="tiny obs ring")
+    yield TINY_NAME
+    STANDARD_PARAMS.pop(TINY_NAME, None)
+
+
+@pytest.fixture
+def tiny_pool(tiny_name):
+    # 32x32 subarray: 4 tiles of 8 columns -> batch 4, no spill.
+    return EnginePool(PoolConfig(size=2, rows=32, cols=32))
+
+
+@pytest.fixture
+def tiny_request(tiny_name):
+    """Factory for requests on the tiny ring."""
+
+    def make(request_id, *, op="ntt", arrival_s=0.0, operand=None,
+             payload=None, tenant="", kind="", deadline_s=None):
+        if payload is None:
+            payload = [(request_id * 7 + i) % TINY_Q for i in range(TINY_N)]
+        return Request(
+            request_id=request_id,
+            op=op,
+            params_name=TINY_NAME,
+            payload=tuple(payload),
+            operand=None if operand is None else tuple(operand),
+            arrival_s=arrival_s,
+            tenant=tenant,
+            kind=kind,
+            deadline_s=deadline_s,
+        )
+
+    return make

@@ -1,0 +1,116 @@
+"""The three golden replay scenarios for tracing-parity tests.
+
+Each builder constructs a fresh pool + simulator and replays one
+deterministic trace; the parity tests run it untraced and traced and
+compare :func:`repro.serve.serialize_report` output against the
+checked-in golden in ``tests/obs/goldens/``.  Regenerate after an
+intentional serving-stack change with::
+
+    PYTHONPATH=src python tests/obs/scenarios.py --write
+
+and review the golden diff like any other code change.
+"""
+
+import pathlib
+
+from repro.ntt.params import STANDARD_PARAMS, NTTParams
+from repro.serve import (
+    BatchPolicy,
+    EnginePool,
+    PoolConfig,
+    Request,
+    ServingSimulator,
+    bursty_trace,
+    poisson_trace,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+TINY_NAME = "tiny-obs-golden"
+TINY_N = 16
+TINY_Q = 97
+
+
+def _tiny_trace():
+    trace = []
+    for i in range(10):
+        trace.append(Request(
+            request_id=i,
+            op="ntt",
+            params_name=TINY_NAME,
+            payload=tuple((i * 7 + j) % TINY_Q for j in range(TINY_N)),
+            operand=None,
+            arrival_s=i * 4e-4,
+            tenant="a" if i % 2 else "b",
+            kind="tiny",
+        ))
+    return trace
+
+
+def tiny_replay(tracer=None):
+    """Handcrafted staggered arrivals on a 16-point ring, fifo."""
+    STANDARD_PARAMS[TINY_NAME] = NTTParams(n=TINY_N, q=TINY_Q,
+                                           name="tiny obs golden ring")
+    try:
+        pool = EnginePool(PoolConfig(size=2, rows=32, cols=32))
+        sim = ServingSimulator(pool, BatchPolicy(max_wait_s=1e-3))
+        return sim.replay(_tiny_trace(), tracer=tracer)
+    finally:
+        STANDARD_PARAMS.pop(TINY_NAME, None)
+
+
+def kyber_replay(tracer=None):
+    """Poisson Kyber traffic, fifo at the default window."""
+    trace = poisson_trace("kyber", 2000.0, 0.02, seed=2023)
+    sim = ServingSimulator(EnginePool(PoolConfig(size=2)),
+                           BatchPolicy(max_wait_s=2e-3))
+    return sim.replay(trace, tracer=tracer)
+
+
+def mixed_slo_replay(tracer=None):
+    """Bursty mixed-tenant SLO traffic through the slo scheduler."""
+    trace = bursty_trace("mixed-slo", 4000.0, 0.02, seed=7)
+    sim = ServingSimulator(
+        EnginePool(PoolConfig(size=2)), BatchPolicy(max_wait_s=2e-3),
+        scheduler="slo",
+        scheduler_options=dict(queue_limit=64,
+                               tenant_weights={"handshake": 2.0}),
+    )
+    return sim.replay(trace, tracer=tracer)
+
+
+SCENARIO_BUILDERS = {
+    "tiny": tiny_replay,
+    "kyber": kyber_replay,
+    "mixed-slo": mixed_slo_replay,
+}
+
+
+def golden_path(name: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"{name.replace('-', '_')}_report.json"
+
+
+def main() -> None:
+    import argparse
+
+    from repro.serve import serialize_report
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write", action="store_true",
+                        help="regenerate the golden files")
+    args = parser.parse_args()
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, build in SCENARIO_BUILDERS.items():
+        serialized = serialize_report(build())
+        path = golden_path(name)
+        if args.write:
+            path.write_text(serialized + "\n")
+            print(f"wrote {path}")
+        else:
+            status = "matches" if path.read_text().rstrip("\n") == serialized \
+                else "DIFFERS"
+            print(f"{name}: {status} ({path})")
+
+
+if __name__ == "__main__":
+    main()

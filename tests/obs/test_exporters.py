@@ -1,0 +1,144 @@
+"""Exporter tests: JSONL roundtrip, Chrome-trace structure, Prometheus."""
+
+import json
+
+import pytest
+from scenarios import SCENARIO_BUILDERS
+
+from repro.obs import (
+    LIFECYCLE_PHASES,
+    RecordingTracer,
+    chrome_trace,
+    format_prometheus,
+    read_jsonl,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_tiny():
+    tracer = RecordingTracer()
+    report = SCENARIO_BUILDERS["tiny"](tracer=tracer)
+    return tracer, report
+
+
+class TestJsonl:
+    def test_roundtrip_preserves_every_event(self, traced_tiny, tmp_path):
+        tracer, _ = traced_tiny
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer.events, path)
+        back = read_jsonl(path)
+        assert back == tracer.events
+
+    def test_one_object_per_line_in_emission_order(self, traced_tiny):
+        tracer, _ = traced_tiny
+        lines = to_jsonl(tracer.events).splitlines()
+        assert len(lines) == len(tracer.events)
+        for line, event in zip(lines, tracer.events):
+            rec = json.loads(line)
+            assert rec["phase"] == event.phase
+            assert rec["t_s"] == event.t_s
+
+
+class TestChromeTrace:
+    def test_document_shape(self, traced_tiny):
+        tracer, _ = traced_tiny
+        doc = chrome_trace(tracer.events)
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+        # Round-trips through JSON (what Perfetto actually parses).
+        json.loads(json.dumps(doc))
+
+    def test_batch_slices_live_on_lane_threads(self, traced_tiny):
+        tracer, report = traced_tiny
+        doc = chrome_trace(tracer.events)
+        slices = [e for e in doc["traceEvents"]
+                  if e.get("cat") == "batch" and e["ph"] == "X"]
+        assert len(slices) == len(report.batches)
+        for s in slices:
+            assert s["pid"] == 0
+            assert s["dur"] >= 0
+            assert "batch_id" in s["args"]
+            assert "params" in s["args"]  # joined from the dispatch event
+
+    def test_request_spans_cover_every_served_request(self, traced_tiny):
+        tracer, report = traced_tiny
+        doc = chrome_trace(tracer.events)
+        spans = [e for e in doc["traceEvents"] if e.get("cat") == "request"]
+        begins = {e["id"] for e in spans if e["ph"] == "b"}
+        ends = {e["id"] for e in spans if e["ph"] == "e"}
+        assert len(begins) == len(report.responses) + len(report.drops)
+        assert begins == ends  # tiny scenario drops nothing
+        for e in spans:
+            assert e["pid"] == 1
+
+    def test_end_events_carry_stage_timestamps(self, traced_tiny):
+        tracer, _ = traced_tiny
+        doc = chrome_trace(tracer.events)
+        ends = [e for e in doc["traceEvents"]
+                if e.get("cat") == "request" and e["ph"] == "e"]
+        for e in ends:
+            assert "dispatched_s" in e["args"]
+            assert "start_s" in e["args"]
+
+    def test_thread_metadata_names_every_lane(self, traced_tiny):
+        tracer, _ = traced_tiny
+        doc = chrome_trace(tracer.events)
+        lanes = {e["tid"] for e in doc["traceEvents"]
+                 if e.get("cat") == "batch"}
+        named = {e["tid"]: e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "thread_name"}
+        for lane in lanes:
+            assert named[lane] == f"lane {lane}"
+        procs = {e["pid"]: e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "process_name"}
+        assert procs == {0: "lanes", 1: "requests"}
+
+    def test_every_lifecycle_instant_survives_export(self, traced_tiny):
+        tracer, _ = traced_tiny
+        doc = chrome_trace(tracer.events)
+        instants = {e["name"] for e in doc["traceEvents"]
+                    if e.get("cat") == "request" and e["ph"] == "n"}
+        # Request-side phases between arrive (b) and respond/drop (e)
+        # become async instants; batch_open/dispatch/lane_* are
+        # batch-level and render on the lane tracks instead.
+        assert {"admit", "enqueue"} <= instants
+        assert set(LIFECYCLE_PHASES) >= instants
+
+    def test_write_chrome_trace_is_loadable(self, traced_tiny, tmp_path):
+        tracer, _ = traced_tiny
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer.events, path)
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+
+
+class TestPrometheus:
+    def test_text_format(self, traced_tiny):
+        _, report = traced_tiny
+        text = format_prometheus(report.registry)
+        lines = text.rstrip("\n").split("\n")
+        # One TYPE header per metric name, emitted once.
+        type_lines = [l for l in lines if l.startswith("# TYPE ")]
+        assert len(type_lines) == len({l.split()[2] for l in type_lines})
+        assert "# TYPE serve_requests counter" in text
+        assert "# TYPE serve_latency_ms histogram" in text
+        assert "# TYPE sched_queue_depth gauge" in text
+        # Histogram exposition: buckets end at +Inf, with _sum/_count.
+        assert 'serve_latency_ms_bucket{le="+Inf"}' in text
+        assert "serve_latency_ms_sum" in text
+        assert "serve_latency_ms_count" in text
+
+    def test_labeled_series_and_counts(self, traced_tiny):
+        _, report = traced_tiny
+        text = format_prometheus(report.registry)
+        assert 'serve_requests{kind="tiny"} 10' in text
+        assert 'serve_tenant_served{tenant="a"} 5' in text
+        assert 'serve_tenant_served{tenant="b"} 5' in text
+
+    def test_empty_registry_exports_empty(self):
+        from repro.obs.registry import MetricsRegistry
+
+        assert format_prometheus(MetricsRegistry()) == ""

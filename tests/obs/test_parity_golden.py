@@ -1,0 +1,100 @@
+"""The tentpole guarantee: tracing is provably free.
+
+Each golden scenario replays twice — once untraced, once under a
+RecordingTracer — and both serialized reports must be byte-identical
+to each other *and* to the checked-in golden file.  Any code path that
+lets the tracer influence a scheduling or batching decision breaks
+this test before it breaks a user.
+"""
+
+import pytest
+from scenarios import SCENARIO_BUILDERS, golden_path
+
+from repro.obs import RecordingTracer
+from repro.serve import serialize_report
+
+#: Phases every scenario must exercise (``drop`` needs overload and is
+#: covered separately below).
+CORE_PHASES = ("arrive", "admit", "enqueue", "batch_open", "dispatch",
+               "lane_start", "lane_finish", "respond")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+def test_traced_replay_is_byte_identical_to_untraced(name):
+    build = SCENARIO_BUILDERS[name]
+    golden = golden_path(name).read_text().rstrip("\n")
+
+    untraced = serialize_report(build())
+    assert untraced == golden, (
+        f"{name}: untraced replay diverged from golden — if the serving "
+        "stack changed intentionally, regenerate with "
+        "`PYTHONPATH=src python tests/obs/scenarios.py --write`"
+    )
+
+    tracer = RecordingTracer()
+    traced = serialize_report(build(tracer=tracer))
+    assert traced == golden, f"{name}: tracing perturbed the replay"
+    assert len(tracer) > 0
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+def test_traced_replay_covers_the_core_lifecycle(name):
+    tracer = RecordingTracer()
+    SCENARIO_BUILDERS[name](tracer=tracer)
+    phases = {e.phase for e in tracer.events}
+    missing = [p for p in CORE_PHASES if p not in phases]
+    assert not missing, f"{name}: no events for phases {missing}"
+
+
+def test_every_request_arrives_and_resolves():
+    """Each request id gets an arrive and exactly one respond-or-drop."""
+    tracer = RecordingTracer()
+    report = SCENARIO_BUILDERS["mixed-slo"](tracer=tracer)
+    arrived = {e.request_id for e in tracer.by_phase("arrive")}
+    responded = {e.request_id for e in tracer.by_phase("respond")}
+    dropped = {e.request_id for e in tracer.by_phase("drop")}
+    assert responded | dropped == arrived
+    assert not (responded & dropped)
+    assert len(responded) == len(report.responses)
+    assert len(dropped) == len(report.drops)
+
+
+def test_slo_overload_emits_drop_events():
+    # The golden scenarios run below overload; force drops explicitly
+    # with a queue limit far under a simultaneous burst.
+    from repro.ntt.params import STANDARD_PARAMS, NTTParams
+    from repro.serve import (
+        BatchPolicy,
+        EnginePool,
+        PoolConfig,
+        Request,
+        ServingSimulator,
+    )
+
+    name = "tiny-obs-drop"
+    STANDARD_PARAMS[name] = NTTParams(n=16, q=97, name="tiny drop ring")
+    try:
+        burst = [
+            Request(request_id=i, op="ntt", params_name=name,
+                    payload=tuple(range(16)), operand=None,
+                    arrival_s=0.0, tenant="a", kind="tiny")
+            for i in range(20)
+        ]
+        sim = ServingSimulator(
+            EnginePool(PoolConfig(size=1, rows=32, cols=32)),
+            BatchPolicy(max_wait_s=1e-3),
+            scheduler="slo", scheduler_options=dict(queue_limit=2),
+        )
+        tracer = RecordingTracer()
+        report = sim.replay(burst, tracer=tracer)
+    finally:
+        STANDARD_PARAMS.pop(name, None)
+    drops = tracer.by_phase("drop")
+    assert len(drops) == len(report.drops) > 0
+    assert all(e.attrs.get("reason") for e in drops)
+
+
+def test_repeat_replays_are_deterministic():
+    first = serialize_report(SCENARIO_BUILDERS["tiny"]())
+    second = serialize_report(SCENARIO_BUILDERS["tiny"]())
+    assert first == second

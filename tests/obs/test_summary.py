@@ -1,0 +1,149 @@
+"""Trace summary tests: loading both formats, stage decomposition."""
+
+import json
+
+import pytest
+from scenarios import SCENARIO_BUILDERS
+
+from repro.errors import ParameterError
+from repro.obs import (
+    STAGES,
+    RecordingTracer,
+    RequestTimeline,
+    load_timelines,
+    summarize_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_mixed():
+    tracer = RecordingTracer()
+    report = SCENARIO_BUILDERS["mixed-slo"](tracer=tracer)
+    return tracer, report
+
+
+class TestLoadTimelines:
+    def test_both_formats_reconstruct_equivalent_timelines(
+            self, traced_mixed, tmp_path):
+        tracer, _ = traced_mixed
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        write_jsonl(tracer.events, jsonl)
+        write_chrome_trace(tracer.events, chrome)
+        from_jsonl = load_timelines(jsonl)
+        from_chrome = load_timelines(chrome)
+        # Chrome-trace timestamps go through a seconds -> microseconds
+        # -> seconds roundtrip, so instants agree to float precision,
+        # not bit-for-bit; everything discrete must match exactly.
+        assert len(from_jsonl) == len(from_chrome)
+        for a, b in zip(from_jsonl, from_chrome):
+            assert (a.request_id, a.kind, a.tenant, a.drop_reason,
+                    a.lane, a.batch_id) == \
+                (b.request_id, b.kind, b.tenant, b.drop_reason,
+                 b.lane, b.batch_id)
+            for attr in ("arrive_s", "enqueue_s", "dispatched_s",
+                         "start_s", "finish_s"):
+                x, y = getattr(a, attr), getattr(b, attr)
+                if x is None or y is None:
+                    assert x == y
+                else:
+                    assert x == pytest.approx(y, rel=1e-9)
+
+    def test_every_offered_request_appears(self, traced_mixed, tmp_path):
+        tracer, report = traced_mixed
+        path = tmp_path / "t.jsonl"
+        write_jsonl(tracer.events, path)
+        timelines = load_timelines(path)
+        assert len(timelines) == len(report.responses) + len(report.drops)
+        assert sum(t.served for t in timelines) == len(report.responses)
+        assert sum(t.drop_reason is not None for t in timelines) == \
+            len(report.drops)
+
+    def test_stages_partition_e2e_latency(self, traced_mixed, tmp_path):
+        tracer, _ = traced_mixed
+        path = tmp_path / "t.jsonl"
+        write_jsonl(tracer.events, path)
+        for t in load_timelines(path):
+            if not t.served:
+                continue
+            assert t.coverage >= 0.99  # the ISSUE attribution criterion
+            assert abs(sum(s for _, s in t.breakdown()) - t.e2e_s) < 1e-12
+
+    def test_non_json_file_rejected_as_jsonl(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(json.JSONDecodeError):
+            load_timelines(path)
+
+    def test_wrong_json_document_rejected(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps({"served": 3}))
+        with pytest.raises(ParameterError, match="traceEvents"):
+            load_timelines(path)
+
+
+class TestRequestTimeline:
+    def test_stage_accessors(self):
+        t = RequestTimeline(request_id=1, kind="k", tenant="a",
+                            arrive_s=0.0, enqueue_s=0.1, dispatched_s=0.3,
+                            start_s=0.4, finish_s=1.0)
+        assert t.served
+        assert t.e2e_s == 1.0
+        assert t.stage_s("admission") == pytest.approx(0.1)
+        assert t.stage_s("batching") == pytest.approx(0.2)
+        assert t.stage_s("lane-wait") == pytest.approx(0.1)
+        assert t.stage_s("service") == pytest.approx(0.6)
+        assert t.coverage == pytest.approx(1.0)
+        with pytest.raises(ParameterError, match="unknown stage"):
+            t.stage_s("teleport")
+
+    def test_dropped_request_has_no_e2e(self):
+        t = RequestTimeline(request_id=1, kind="", tenant="",
+                            arrive_s=0.0, drop_reason="queue_full")
+        assert not t.served
+        with pytest.raises(ParameterError, match="not served"):
+            t.e2e_s
+
+    def test_missing_instants_count_zero(self):
+        t = RequestTimeline(request_id=1, kind="", tenant="",
+                            arrive_s=0.0, finish_s=1.0)
+        assert t.stage_s("batching") == 0.0
+
+
+class TestSummarizeTrace:
+    def test_report_sections(self, traced_mixed, tmp_path):
+        tracer, report = traced_mixed
+        path = tmp_path / "t.jsonl"
+        write_jsonl(tracer.events, path)
+        text = summarize_trace(load_timelines(path))
+        assert f"{len(report.responses)} served" in text
+        assert f"{len(report.drops)} dropped" in text
+        assert "per-stage latency breakdown" in text
+        assert "critical path" in text
+        for q in (50, 95, 99):
+            assert f"p{q}" in text
+        for name, _, _ in STAGES:
+            assert name in text
+
+    def test_custom_quantiles(self, traced_mixed, tmp_path):
+        tracer, _ = traced_mixed
+        path = tmp_path / "t.jsonl"
+        write_jsonl(tracer.events, path)
+        text = summarize_trace(load_timelines(path), quantiles=(25, 75))
+        assert "p25" in text and "p75" in text
+        assert "p95" not in text
+
+    def test_all_dropped_trace(self):
+        timelines = [
+            RequestTimeline(request_id=i, kind="", tenant="",
+                            arrive_s=0.0, drop_reason="queue_full")
+            for i in range(3)
+        ]
+        text = summarize_trace(timelines)
+        assert "no served requests to break down" in text
+        assert "queue_full=3" in text
+
+    def test_empty_trace(self):
+        assert "0 total" in summarize_trace([])

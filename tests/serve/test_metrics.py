@@ -156,3 +156,64 @@ class TestOverloadEdgeCases:
         assert stats["b"].served == 0 and stats["b"].dropped == 1
         assert stats["b"].mean_ms == 0.0
         assert stats["ntt"].mean_ms > 0.0
+
+
+class TestTimelineEdges:
+    """Queue-depth and occupancy corners, pinned against the registry
+    rewrite: the report must stay a faithful view over the instruments
+    even when nothing was admitted or a lane has exactly one slot."""
+
+    def test_zero_admitted_requests_keep_the_depth_timeline(self):
+        # Every request shed at admission: the queue never forms, but
+        # the sampled depth trajectory still belongs in the report.
+        depth = [(0.0, 1), (1e-3, 2), (2e-3, 0)]
+        report = aggregate(
+            [], [], total_lanes=1, busy_s=0.0,
+            drops=[drop(i, arrival_s=i * 1e-3) for i in range(3)],
+            queue_depth=depth,
+        )
+        assert report.queue_depth == depth
+        assert report.max_queue_depth == 2
+        gauge = report.registry.get("sched.queue_depth")
+        assert gauge is not None and gauge.samples == depth
+        assert report.registry.get("serve.requests") is None
+        assert report.throughput_rps == 0.0
+        assert report.overall.count == 0
+
+    def test_zero_admitted_empty_timeline(self):
+        report = aggregate([], [], total_lanes=1, busy_s=0.0,
+                           drops=[drop(0)])
+        assert report.queue_depth == []
+        assert report.max_queue_depth == 0
+
+    def test_simulator_depth_samples_win_over_backfill(self):
+        # The simulator samples its own gauge during the replay; a
+        # late queue_depth= argument must not overwrite that timeline.
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.gauge("sched.queue_depth").sample(0.0, 7)
+        report = aggregate(
+            [], [], total_lanes=1, busy_s=0.0, drops=[drop(0)],
+            queue_depth=[(0.0, 1)], registry=registry,
+        )
+        assert report.queue_depth == [(0.0, 7)]
+        assert report.max_queue_depth == 7
+
+    def test_capacity_one_batch_occupancy(self):
+        # A one-slot invocation is always fully occupied — the
+        # occupancy histogram must observe exactly 1.0, no padding.
+        from repro.serve.metrics import BatchRecord
+
+        batch = BatchRecord(batch_id=0, key=("p", "ntt", None), size=1,
+                            capacity=1, dispatched_s=0.0, start_s=0.0,
+                            finish_s=1e-3, lane=0, energy_nj=5.0)
+        assert batch.occupancy == 1.0
+        report = aggregate([], [batch], total_lanes=1, busy_s=1e-3,
+                           drops=[drop(0)])
+        assert report.mean_occupancy == 1.0
+        assert report.padding_fraction == 0.0
+        hist = report.registry.get("sched.batch_occupancy")
+        assert hist.values == [1.0]
+        assert report.registry.get("sched.padded_slots").value == 0
+        assert report.registry.get("sched.batch_slots").value == 1

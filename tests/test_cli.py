@@ -201,3 +201,104 @@ class TestCheapCommands:
             assert name in out
         assert "model" in out and "sram" in out
         assert "description" in out
+
+
+class TestObservabilityCli:
+    """serve --trace-out/--metrics-out and the trace subcommand."""
+
+    SERVE = ["serve", "--scenario", "ntt", "--rate", "400", "--duration",
+             "0.05", "--pool-size", "1", "--seed", "5"]
+
+    def test_trace_command_registered(self):
+        args = build_parser().parse_args(["trace", "t.json"])
+        assert args.command == "trace"
+        assert args.path == "t.json"
+        assert args.quantiles is None
+
+    def test_trace_quantile_flag_repeats(self):
+        args = build_parser().parse_args(
+            ["trace", "t.json", "--quantile", "25", "--quantile", "75"])
+        assert args.quantiles == [25.0, 75.0]
+
+    def test_serve_observability_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--trace-out", "t.json", "--metrics-out", "m.prom"])
+        assert args.trace_out == "t.json"
+        assert args.metrics_out == "m.prom"
+        assert build_parser().parse_args(["serve"]).trace_out is None
+
+    def test_serve_help_lists_registry_names(self):
+        # The --backend/--scheduler help text must track the registries,
+        # not a hand-maintained list.
+        from repro.backends import available_backends
+        from repro.sched import available_schedulers
+
+        import contextlib
+        import io
+
+        buffer = io.StringIO()
+        with pytest.raises(SystemExit), contextlib.redirect_stdout(buffer):
+            build_parser().parse_args(["serve", "--help"])
+        help_text = buffer.getvalue()
+        for name in available_backends():
+            assert name in help_text
+        for name in available_schedulers():
+            assert name in help_text
+
+    def test_serve_writes_chrome_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        main(self.SERVE + ["--trace-out", str(trace),
+                           "--metrics-out", str(prom)])
+        out = capsys.readouterr().out
+        assert f"trace events to {trace}" in out
+        assert f"metric series to {prom}" in out
+        doc = json.loads(trace.read_text())
+        phases = {e.get("name") for e in doc["traceEvents"]}
+        assert "request" in phases  # async request spans present
+        text = prom.read_text()
+        assert "# TYPE serve_latency_ms histogram" in text
+
+    def test_serve_writes_jsonl_when_asked(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        main(self.SERVE + ["--trace-out", str(trace)])
+        capsys.readouterr()
+        lines = trace.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["phase"] for line in lines)
+
+    def test_trace_summary_end_to_end(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        main(self.SERVE + ["--trace-out", str(trace)])
+        capsys.readouterr()
+        main(["trace", str(trace)])
+        out = capsys.readouterr().out
+        assert "per-stage latency breakdown" in out
+        assert "critical path" in out
+        for stage in ("admission", "batching", "lane-wait", "service"):
+            assert stage in out
+
+    def test_trace_custom_quantiles(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        main(self.SERVE + ["--trace-out", str(trace)])
+        capsys.readouterr()
+        main(["trace", str(trace), "--quantile", "10", "--quantile", "90"])
+        out = capsys.readouterr().out
+        assert "p10" in out and "p90" in out
+
+    def test_trace_rejects_non_trace_file(self, capsys, tmp_path):
+        bad = tmp_path / "report.json"
+        bad.write_text('{"served": 3}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", str(bad)])
+        assert excinfo.value.code == 2
+        assert "traceEvents" in capsys.readouterr().err
+
+    def test_trace_rejects_missing_file(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", str(tmp_path / "nope.json")])
+        assert excinfo.value.code == 2
