@@ -8,6 +8,7 @@
 """
 
 from repro.analysis.area import project_area, project_energy, project_frequency
+from repro.analysis.breakdown import phase_breakdown, sense_amp_ablation
 from repro.analysis.footprint import FootprintEntry, fig7_comparison
 from repro.analysis.roofline import (
     DEFAULT_MACHINE,
@@ -15,7 +16,6 @@ from repro.analysis.roofline import (
     MachineModel,
     lattice_kernel_profiles,
 )
-from repro.analysis.breakdown import phase_breakdown, sense_amp_ablation
 from repro.analysis.scaling import NodePoint, scale_design_point
 from repro.analysis.sweeps import SweepPoint, sweep_bitwidths, sweep_orders
 from repro.analysis.tables import build_table1, format_table1

@@ -18,7 +18,7 @@ backend refuses moduli past 31 bits rather than overflow silently.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -11,14 +11,14 @@ The BP-NTT rows of Table I are *measured* from the cycle-level engine;
 only the competitors use reported numbers, exactly as the paper does.
 """
 
-from repro.baselines.base import AcceleratorModel, bp_ntt_model_from_report
-from repro.baselines.mentt import MENTT, mentt_cell_count
-from repro.baselines.cryptopim import CRYPTOPIM
-from repro.baselines.rmntt import RMNTT, rmntt_cell_count
 from repro.baselines.asic import LEIA, SAPPHIRE
-from repro.baselines.fpga import FPGA_NTT
-from repro.baselines.cpu import CPU_NTT
+from repro.baselines.base import AcceleratorModel, bp_ntt_model_from_report
 from repro.baselines.bitserial import BitSerialShiftModel
+from repro.baselines.cpu import CPU_NTT
+from repro.baselines.cryptopim import CRYPTOPIM
+from repro.baselines.fpga import FPGA_NTT
+from repro.baselines.mentt import MENTT, mentt_cell_count
+from repro.baselines.rmntt import RMNTT, rmntt_cell_count
 
 ALL_BASELINES = [MENTT, CRYPTOPIM, RMNTT, LEIA, SAPPHIRE, FPGA_NTT, CPU_NTT]
 

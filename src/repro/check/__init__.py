@@ -1,0 +1,125 @@
+"""repro.check — static analyzers for programs, circuits and schedulers.
+
+The serving stack spans workload -> scheduler -> lane pool -> backend ->
+SRAM ISA with bit-for-bit goldens, but goldens only prove *this* replay
+matched *that* one; they cannot prove a new program, circuit or
+scheduler is well-formed before it runs.  This package is the
+correctness tooling layer:
+
+- :mod:`repro.check.program` — dataflow verification of
+  :class:`~repro.sram.program.Program` instruction streams (geometry,
+  def-before-use on rows / latch / flags / carry-out, carry-chain
+  widths against the Montgomery bound, cost-table consistency).
+- :mod:`repro.check.he` — static noise bounds for HE multiply chains
+  via the seeded :func:`~repro.crypto.he.depth_profile` model, plus
+  :class:`HEDepthGate`, the serving stack's optional admission gate.
+- :mod:`repro.check.sched` — scheduler-conformance / race detection
+  over :class:`~repro.obs.TraceEvent` streams (exactly-once
+  disposition, lane exclusivity, batch containment, monotone stages,
+  conservation), offline via :func:`check_trace` or live via
+  :class:`CheckingTracer`.
+- :mod:`repro.check.registry` — backend/scheduler registry drift.
+
+Everything reports through one :class:`Diagnostic` model (rule id,
+severity, location, fix hint; the ids live in :data:`RULE_CATALOG`),
+surfaced by ``repro.cli check`` with JSON output and a non-zero exit on
+any error-severity finding.
+
+Write your own rule by registering a producer — any zero-argument
+callable returning a list of :class:`Diagnostic` records::
+
+    from repro.check import Diagnostic, Severity, register_checker
+
+    def no_fifo_in_prod():
+        ...
+        return [Diagnostic("REG001", Severity.ERROR, "prod", "...")]
+
+    register_checker("no-fifo-in-prod", no_fifo_in_prod)
+
+after which ``repro.cli check all`` (and :func:`run_checkers`) runs it
+alongside the built-in analyzers.
+"""
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.check.diagnostics import (
+    RULE_CATALOG,
+    Diagnostic,
+    Severity,
+    diagnostics_json,
+    error,
+    format_diagnostics,
+    format_rule_catalog,
+    has_errors,
+    info,
+    warning,
+)
+from repro.check.he import (
+    HE_PARAM_SETS,
+    HEDepthGate,
+    check_depth,
+    check_scenario,
+    profile_depth,
+    supported_depth,
+)
+from repro.check.program import check_program
+from repro.check.registry import check_registries
+from repro.check.sched import CheckingTracer, check_trace, checked_replay
+from repro.errors import CheckError
+from repro.registry import FactoryRegistry
+
+_CHECKERS = FactoryRegistry("checker", CheckError)
+
+
+def register_checker(name: str, producer: Callable[[], List[Diagnostic]], *,
+                     replace: bool = False) -> None:
+    """Register a custom rule (or a lazy ``"module:attr"`` spec) by name."""
+    _CHECKERS.register(name, producer, replace=replace)
+
+
+def unregister_checker(name: str) -> None:
+    """Remove a custom rule (no-op when absent)."""
+    _CHECKERS.unregister(name)
+
+
+def available_checkers() -> Tuple[str, ...]:
+    """Registered custom rule names, sorted."""
+    return _CHECKERS.available()
+
+
+def run_checkers(names: Optional[Tuple[str, ...]] = None) -> List[Diagnostic]:
+    """Run the named custom rules (default: all) and pool their findings."""
+    diagnostics: List[Diagnostic] = []
+    for name in names if names is not None else _CHECKERS.available():
+        diagnostics.extend(_CHECKERS.get(name)())
+    return diagnostics
+
+
+__all__ = [
+    "CheckError",
+    "CheckingTracer",
+    "Diagnostic",
+    "HEDepthGate",
+    "HE_PARAM_SETS",
+    "RULE_CATALOG",
+    "Severity",
+    "available_checkers",
+    "check_depth",
+    "check_program",
+    "check_registries",
+    "check_scenario",
+    "check_trace",
+    "checked_replay",
+    "diagnostics_json",
+    "error",
+    "format_diagnostics",
+    "format_rule_catalog",
+    "has_errors",
+    "info",
+    "profile_depth",
+    "register_checker",
+    "run_checkers",
+    "supported_depth",
+    "unregister_checker",
+    "warning",
+]

@@ -1,0 +1,73 @@
+"""Registry-drift rule: every registered name must resolve and be documented.
+
+The backend and scheduler registries accept lazy ``"module:attr"``
+specs, so a typo in a built-in registration only explodes when someone
+first *uses* the name — and the CLI help text advertises the registries
+dynamically, so a name can resolve yet be invisible to users if the
+parser wiring regresses.  This rule (promoted from a one-off CLI test)
+closes both gaps:
+
+- REG001: every name in :func:`~repro.backends.available_backends` and
+  :func:`~repro.sched.available_schedulers` resolves through its
+  registry — imports clean, attribute exists.
+- REG002: every name appears in ``repro.cli serve --help``, i.e. the
+  parser choices really are derived from the registries.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+from typing import List
+
+from repro.check.diagnostics import Diagnostic, error
+from repro.errors import ReproError
+
+
+def _serve_help_text() -> str:
+    """Capture ``repro.cli serve --help`` (argparse exits after printing)."""
+    from repro.cli import build_parser
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        try:
+            build_parser().parse_args(["serve", "--help"])
+        except SystemExit:
+            pass
+    return buffer.getvalue()
+
+
+def check_registries() -> List[Diagnostic]:
+    """Run the drift rule over both registries; findings when stale."""
+    from repro.backends import available_backends, get_backend
+    from repro.sched import available_schedulers, get_scheduler
+
+    diagnostics: List[Diagnostic] = []
+    resolved = []
+    for registry_name, names, get in (
+        ("backend", available_backends(), get_backend),
+        ("scheduler", available_schedulers(), get_scheduler),
+    ):
+        for name in names:
+            where = f"{registry_name} {name!r}"
+            try:
+                get(name)
+            except ReproError as exc:
+                diagnostics.append(error(
+                    "REG001", where,
+                    f"registered but fails to resolve: {exc}",
+                    hint="fix the lazy 'module:attr' spec or the import "
+                         "it points at",
+                ))
+                continue
+            resolved.append((where, name))
+    help_text = _serve_help_text()
+    for where, name in resolved:
+        if name not in help_text:
+            diagnostics.append(error(
+                "REG002", where,
+                "resolves but is missing from `repro.cli serve --help`",
+                hint="the parser must derive its choices from the "
+                     "registries, not a hand-maintained list",
+            ))
+    return diagnostics

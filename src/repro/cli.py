@@ -14,6 +14,7 @@ Usage::
     python -m repro.cli trace t.json      # per-stage latency breakdown
     python -m repro.cli backends          # registered execution backends
     python -m repro.cli hedepth           # HE noise per multiplicative level
+    python -m repro.cli check             # static analyzers (repro.check)
 
 ``serve`` and ``verify`` accept ``--backend <name>`` to pick any
 execution backend registered in :mod:`repro.backends`; ``serve`` also
@@ -33,6 +34,17 @@ registry in Prometheus text format, and ``trace <file>`` reads either
 trace format back and prints the per-stage latency breakdown
 (admission / batching / lane-wait / service) for the p50/p95/p99
 requests plus critical-path attribution.
+
+Static checks (:mod:`repro.check`): ``check program`` verifies compiled
+instruction streams (dataflow, geometry, carry-chain widths, cost
+tables), ``check he`` bounds multiply-chain noise against the decrypt
+guarantee, ``check trace`` runs the scheduler-conformance rules over a
+recorded JSONL trace or a live ``--scenario`` replay, ``check
+registry`` detects backend/scheduler registry drift, and ``check all``
+runs everything plus any user-registered rules.  ``--json`` emits
+machine-readable findings; the exit code is 1 when any error-severity
+diagnostic fires (the CI gate relies on this) and ``--catalog`` lists
+every rule id.
 
 All output goes to stdout; the heavy targets (table1, serve with HE
 traffic) run the cycle-level simulator or compile large programs and
@@ -285,6 +297,151 @@ def _cmd_hedepth(args: argparse.Namespace) -> None:
         sys.exit(2)
 
 
+def _check_program_suite(sets) -> List:
+    """Compile and verify the ntt/intt/pointwise programs of each set."""
+    from repro.check import check_program
+    from repro.core.layout import DataLayout
+    from repro.core.scheduler import (
+        compile_intt,
+        compile_ntt,
+        compile_pointwise_mul,
+    )
+    from repro.core.tiles import container_width
+    from repro.ntt.params import get_params
+
+    diagnostics = []
+    for name in sets:
+        params = get_params(name)
+        width = container_width(params.q)
+        layout = DataLayout(256, 256, width, params.n)
+        other_hat = [(i * 31 + 7) % params.q for i in range(params.n)]
+        for program in (
+            compile_ntt(layout, params),
+            compile_intt(layout, params),
+            compile_pointwise_mul(layout, params, other_hat),
+        ):
+            program.name = f"{name}:{program.name}"
+            diagnostics.extend(check_program(
+                program, rows=layout.rows, width=width,
+                num_tiles=layout.num_tiles, modulus=params.q,
+            ))
+    return diagnostics
+
+
+def _check_scenario_trace(scenario: str, scheduler: Optional[str],
+                          seed: int) -> List:
+    """Replay a workload scenario live under a CheckingTracer."""
+    import dataclasses
+
+    from repro.check import CheckingTracer
+    from repro.serve import (
+        BatchPolicy,
+        EnginePool,
+        PoolConfig,
+        ServingSimulator,
+        bursty_trace,
+        poisson_trace,
+    )
+
+    # SLO scenarios get the slo scheduler and bursty arrivals (the
+    # traffic they were designed for); everything else replays fifo.
+    slo_flavored = "slo" in scenario
+    scheduler = scheduler or ("slo" if slo_flavored else "fifo")
+    make_trace = bursty_trace if slo_flavored else poisson_trace
+    trace = make_trace(scenario, 400.0, 0.05, seed=seed)
+    simulator = ServingSimulator(
+        EnginePool(PoolConfig(size=2)), BatchPolicy(max_wait_s=2e-3),
+        scheduler=scheduler,
+        scheduler_options={"queue_limit": 64} if scheduler == "slo" else {},
+    )
+    tracer = CheckingTracer(shared_lanes=scheduler != "fifo")
+    simulator.replay(trace, tracer=tracer)
+    return [
+        dataclasses.replace(d, location=f"{scenario}: {d.location}")
+        for d in tracer.finish()
+    ]
+
+
+def _check_trace_file(path: str) -> List:
+    """Run the conformance rules over a recorded JSONL event log."""
+    import dataclasses
+
+    from repro.check import check_trace
+    from repro.errors import CheckError
+    from repro.obs import read_jsonl
+
+    try:
+        events = read_jsonl(path)
+    except (OSError, ValueError, TypeError) as exc:
+        raise CheckError(
+            f"cannot read {path!r} as a JSONL event log ({exc}); record one "
+            f"with `serve --trace-out trace.jsonl` (the .json Chrome format "
+            f"is lossy and not checkable)"
+        ) from exc
+    return [
+        dataclasses.replace(d, location=f"{path}: {d.location}")
+        for d in check_trace(events)
+    ]
+
+
+#: Parameter sets whose compiled kernels `check program` verifies by
+#: default: the Table I reference point and the Kyber serving ring.
+_CHECK_PROGRAM_SETS = ("table1-14bit", "kyber-v1")
+
+
+def _cmd_check(args: argparse.Namespace) -> None:
+    from repro import check as checklib
+    from repro.errors import ReproError
+
+    if args.catalog:
+        print(checklib.format_rule_catalog())
+        return
+    diagnostics = []
+    try:
+        run_all = args.mode == "all"
+        if run_all or args.mode == "program":
+            diagnostics.extend(
+                _check_program_suite(args.sets or _CHECK_PROGRAM_SETS))
+        if run_all or args.mode == "he":
+            for name in args.he_sets or checklib.HE_PARAM_SETS:
+                diagnostics.extend(checklib.check_depth(
+                    name, args.depth,
+                    plaintext_modulus=args.plaintext_modulus,
+                    seed=args.seed,
+                ))
+            if run_all:
+                for scenario in ("he-mul", "mixed-deep"):
+                    diagnostics.extend(checklib.check_scenario(
+                        scenario, plaintext_modulus=args.plaintext_modulus,
+                        seed=args.seed,
+                    ))
+        if run_all or args.mode == "trace":
+            scenarios = args.scenarios or (
+                ("kyber", "mixed-slo") if run_all else ())
+            if not scenarios and not args.paths:
+                raise checklib.CheckError(
+                    "check trace needs a JSONL path or --scenario"
+                )
+            for path in args.paths:
+                diagnostics.extend(_check_trace_file(path))
+            for scenario in scenarios:
+                diagnostics.extend(
+                    _check_scenario_trace(scenario, args.scheduler, args.seed))
+        if run_all or args.mode == "registry":
+            diagnostics.extend(checklib.check_registries())
+        if run_all:
+            diagnostics.extend(checklib.run_checkers())
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        sys.exit(2)
+    if args.json:
+        print(checklib.diagnostics_json(diagnostics))
+    else:
+        print(checklib.format_diagnostics(diagnostics))
+    if checklib.has_errors(diagnostics):
+        sys.exit(1)
+
+
 def _cmd_backends(_: argparse.Namespace) -> None:
     from repro.backends import available_backends, create_backend
     from repro.ntt.params import get_params
@@ -312,6 +469,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "backends": _cmd_backends,
     "hedepth": _cmd_hedepth,
+    "check": _cmd_check,
 }
 
 
@@ -395,6 +553,49 @@ def build_parser() -> argparse.ArgumentParser:
             continue
         if name == "backends":
             sub.add_parser(name, help="list registered execution backends")
+            continue
+        if name == "check":
+            from repro.serve.workload import SCENARIOS
+
+            cmd = sub.add_parser(
+                name, help="static checks: program verifier, HE depth "
+                           "pre-check, scheduler conformance, registry drift"
+            )
+            cmd.add_argument("mode", nargs="?", default="all",
+                             choices=("program", "he", "trace", "registry",
+                                      "all"),
+                             help="which analyzer to run (default all)")
+            cmd.add_argument("paths", nargs="*", default=[], metavar="PATH",
+                             help="trace mode: JSONL event logs from "
+                                  "`serve --trace-out t.jsonl`")
+            cmd.add_argument("--set", dest="sets", action="append",
+                             default=None, metavar="NAME",
+                             help="program mode: parameter set whose "
+                                  "compiled kernels to verify (repeatable; "
+                                  f"default {', '.join(_CHECK_PROGRAM_SETS)})")
+            cmd.add_argument("--he-set", dest="he_sets", action="append",
+                             choices=_HE_PARAM_SETS, default=None,
+                             help="he mode: ring to depth-check "
+                                  "(repeatable; default all three)")
+            cmd.add_argument("--depth", type=int, default=1,
+                             help="he mode: multiplicative depth to admit "
+                                  "(default 1, one ct x ct product)")
+            cmd.add_argument("--plaintext-modulus", type=int, default=2)
+            cmd.add_argument("--scenario", dest="scenarios", action="append",
+                             choices=tuple(sorted(SCENARIOS)), default=None,
+                             help="trace mode: replay this workload scenario "
+                                  "live under a CheckingTracer (repeatable; "
+                                  "`check all` replays kyber and mixed-slo)")
+            cmd.add_argument("--scheduler", choices=scheduler_names,
+                             default=None,
+                             help="trace mode: scheduler for --scenario "
+                                  "replays (default: slo for *slo "
+                                  "scenarios, else fifo)")
+            cmd.add_argument("--json", action="store_true",
+                             help="emit findings as JSON instead of text")
+            cmd.add_argument("--catalog", action="store_true",
+                             help="print the rule catalog and exit")
+            cmd.add_argument("--seed", type=int, default=2023)
             continue
         if name == "hedepth":
             cmd = sub.add_parser(

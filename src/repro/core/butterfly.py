@@ -8,16 +8,16 @@ in each emitter.
 
 Cooley–Tukey (forward)::
 
-    t        = zeta * a[l]          # modmul -> (Sum, Carry); resolve -> Sum
-    a[l]     = a[j] - t             # computed in Carry (free after resolve)
+    t        = zeta * a[k]          # modmul -> (Sum, Carry); resolve -> Sum
+    a[k]     = a[j] - t             # computed in Carry (free after resolve)
     a[j]     = a[j] + t             # computed in landing / in place
 
 Gentleman–Sande (inverse)::
 
-    s        = a[j] + a[l]          # computed in Sum
-    d        = a[j] - a[l]          # computed in landing (modmul's B!)
+    s        = a[j] + a[k]          # computed in Sum
+    d        = a[j] - a[k]          # computed in landing (modmul's B!)
     a[j]     = s                    # stored before modmul clobbers Sum
-    a[l]     = zeta * d             # modmul(B=landing) -> resolve -> Sum
+    a[k]     = zeta * d             # modmul(B=landing) -> resolve -> Sum
 """
 
 from __future__ import annotations
@@ -35,27 +35,27 @@ from repro.core.modmul import emit_modmul
 from repro.sram.program import Program
 
 
-def emit_ct_butterfly(program: Program, layout: DataLayout, j: int, l: int,
+def emit_ct_butterfly(program: Program, layout: DataLayout, j: int, k: int,
                       twiddle: int) -> None:
-    """Forward (Cooley–Tukey) butterfly on coefficients ``j`` and ``l``.
+    """Forward (Cooley–Tukey) butterfly on coefficients ``j`` and ``k``.
 
     ``twiddle`` is the Montgomery-scaled zeta.  Works for resident and
     spill layouts; all slots of the batch execute in lockstep.
     """
     s = layout.scratch
     loc_j = layout.locate(j)
-    loc_l = layout.locate(l)
-    # t = zeta * a[l] * R^-1: B is readable from its own row even when
+    loc_k = layout.locate(k)
+    # t = zeta * a[k] * R^-1: B is readable from its own row even when
     # spilled only in a resident layout; spilled operands slide onto the
     # base tile first (reads of foreign-tile columns are harmless — only
     # writes must be gated).
-    b_row = emit_fetch(program, layout, s.landing, loc_l.row, loc_l.tile_offset)
+    b_row = emit_fetch(program, layout, s.landing, loc_k.row, loc_k.tile_offset)
     emit_modmul(program, layout, twiddle, b_row)
     emit_resolve(program, layout)            # t -> Sum; Carry becomes free
     emit_cond_subtract(program, layout, s.sum)
     # u = a[j]: the landing row is free again (B fully consumed).
     u_row = emit_fetch(program, layout, s.landing, loc_j.row, loc_j.tile_offset)
-    # a[l] = u - t, staged in the free Carry row.
+    # a[k] = u - t, staged in the free Carry row.
     emit_mod_sub(program, layout, s.carry, u_row, s.sum)
     # a[j] = u + t.  In resident layouts this can land in a[j]'s row
     # directly; spill layouts stage in the landing row (reads precede the
@@ -64,19 +64,19 @@ def emit_ct_butterfly(program: Program, layout: DataLayout, j: int, l: int,
     emit_mod_add(program, layout, add_dst, u_row, s.sum)
     if layout.uses_spill:
         emit_store(program, layout, s.landing, loc_j.row, loc_j.tile_offset, s.sum)
-    emit_store(program, layout, s.carry, loc_l.row, loc_l.tile_offset, s.landing)
+    emit_store(program, layout, s.carry, loc_k.row, loc_k.tile_offset, s.landing)
 
 
-def emit_gs_butterfly(program: Program, layout: DataLayout, j: int, l: int,
+def emit_gs_butterfly(program: Program, layout: DataLayout, j: int, k: int,
                       twiddle: int) -> None:
-    """Inverse (Gentleman–Sande) butterfly on coefficients ``j`` and ``l``."""
+    """Inverse (Gentleman–Sande) butterfly on coefficients ``j`` and ``k``."""
     s = layout.scratch
     loc_j = layout.locate(j)
-    loc_l = layout.locate(l)
+    loc_k = layout.locate(k)
     # Stage spilled operands: u may use the (currently free) Carry row,
     # v uses the landing row because it must survive the modmul.
     u_row = emit_fetch(program, layout, s.carry, loc_j.row, loc_j.tile_offset)
-    v_row = emit_fetch(program, layout, s.landing, loc_l.row, loc_l.tile_offset)
+    v_row = emit_fetch(program, layout, s.landing, loc_k.row, loc_k.tile_offset)
     # s = u + v staged in Sum (free scratch before the modmul).
     emit_mod_add(program, layout, s.sum, u_row, v_row)
     # d = u - v staged in the landing row (it becomes the modmul's B).
@@ -84,11 +84,11 @@ def emit_gs_butterfly(program: Program, layout: DataLayout, j: int, l: int,
     # Commit a[j] = s before the modmul reuses Sum.  The Carry row is
     # free now (u consumed) and serves as the spill shuttle.
     emit_store(program, layout, s.sum, loc_j.row, loc_j.tile_offset, s.carry)
-    # a[l] = zeta * d.
+    # a[k] = zeta * d.
     emit_modmul(program, layout, twiddle, s.landing)
     emit_resolve(program, layout)
     emit_cond_subtract(program, layout, s.sum)
-    emit_store(program, layout, s.sum, loc_l.row, loc_l.tile_offset, s.landing)
+    emit_store(program, layout, s.sum, loc_k.row, loc_k.tile_offset, s.landing)
 
 
 def emit_coefficient_scale(program: Program, layout: DataLayout, index: int,

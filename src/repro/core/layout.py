@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import CapacityError, LayoutError, ParameterError
 from repro.core.tiles import SCRATCH_ROW_COUNT
+from repro.errors import CapacityError, LayoutError, ParameterError
 from repro.utils.bitops import mask
 
 

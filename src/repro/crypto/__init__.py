@@ -23,14 +23,6 @@ from repro.crypto.dilithium import (
     dilithium_ntt,
     dilithium_polymul,
 )
-from repro.crypto.kyber import (
-    KYBER_N,
-    KYBER_Q,
-    kyber_basemul,
-    kyber_intt,
-    kyber_ntt,
-    kyber_polymul,
-)
 from repro.crypto.he import (
     DepthRecord,
     HECiphertext,
@@ -41,6 +33,14 @@ from repro.crypto.he import (
     depth_profile,
     format_depth_table,
     relin_digit_count,
+)
+from repro.crypto.kyber import (
+    KYBER_N,
+    KYBER_Q,
+    kyber_basemul,
+    kyber_intt,
+    kyber_ntt,
+    kyber_polymul,
 )
 from repro.crypto.rlwe import RLWECiphertext, RLWEKeyPair, RLWEScheme
 

@@ -52,5 +52,15 @@ class SchedulerError(ParameterError):
     """
 
 
+class CheckError(ParameterError):
+    """A static checker is unknown, already registered, or misconfigured.
+
+    Subclasses :class:`ParameterError` like :class:`BackendError` and
+    :class:`SchedulerError`: a bad checker name or an unreadable trace
+    file is a configuration mistake, and callers guarding check calls
+    with ``except ParameterError`` keep working unchanged.
+    """
+
+
 class VerificationError(ReproError):
     """An in-SRAM result disagrees with the gold (software) model."""

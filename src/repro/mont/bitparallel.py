@@ -26,11 +26,10 @@ SRAM substrate lives in :mod:`repro.core.modmul`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.errors import ParameterError
 from repro.mont.csa import carry_save_add, half_add, resolve_carry
-from repro.utils.bitops import mask
 
 
 def montgomery_expected(a: int, b: int, modulus: int, width: int) -> int:

@@ -19,7 +19,6 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.errors import ParameterError
-from repro.ntt.modmath import mod_inv
 from repro.ntt.params import NTTParams
 from repro.ntt.twiddles import TwiddleTable
 from repro.utils.bitops import bit_reverse_permutation

@@ -16,7 +16,6 @@ from __future__ import annotations
 from typing import List
 
 from repro.errors import ParameterError
-from repro.ntt.modmath import mod_inv
 from repro.ntt.params import NTTParams
 from repro.utils.bitops import bit_reverse
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import asdict
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import TraceEvent

@@ -21,7 +21,7 @@ per replay, so nothing accumulates between calls.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ParameterError
 from repro.obs.registry import MetricsRegistry
@@ -38,7 +38,8 @@ class ServingSimulator:
     def __init__(self, pool: EnginePool, policy: BatchPolicy = BatchPolicy(), *,
                  backend: Optional[str] = None, mode: Optional[str] = None,
                  scheduler: Union[str, Callable] = "fifo",
-                 scheduler_options: Optional[Dict[str, Any]] = None):
+                 scheduler_options: Optional[Dict[str, Any]] = None,
+                 admission_gate: Optional[Callable[[Request], Optional[str]]] = None):
         if mode is not None:
             warnings.warn(MODE_DEPRECATION, DeprecationWarning, stacklevel=2)
         self.pool = pool
@@ -48,6 +49,12 @@ class ServingSimulator:
         self.backend = backend if backend is not None else (mode or "model")
         self.scheduler = scheduler
         self.scheduler_options = dict(scheduler_options or {})
+        # Optional pre-admission gate (e.g. repro.check.HEDepthGate): a
+        # callable mapping a request to a drop-reason string, consulted
+        # *before* the scheduler so static rejections (circuit too deep
+        # for its ring) never occupy queue capacity.  ``None`` -> the
+        # replay is byte-identical to the ungated path.
+        self.admission_gate = admission_gate
 
     @property
     def mode(self) -> str:
@@ -183,7 +190,11 @@ class ServingSimulator:
                                "op": request.op,
                                "deadline_s": request.deadline_s},
                     ))
-                reason = scheduler.admit(request, request.arrival_s)
+                reason = None
+                if self.admission_gate is not None:
+                    reason = self.admission_gate(request)
+                if reason is None:
+                    reason = scheduler.admit(request, request.arrival_s)
                 if reason is not None:
                     if tracer.enabled:
                         tracer.emit(TraceEvent(

@@ -18,8 +18,6 @@ processing its own polynomial (Fig 5a).
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.errors import LayoutError, ParameterError
 from repro.sram.bitmatrix import BitMatrix
 from repro.sram.senseamp import SenseAmpLogic

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional
 
 from repro.errors import ParameterError
-from repro.sram.executor import Executor, _instruction_kind
+from repro.sram.executor import Executor
 from repro.sram.isa import (
     BinaryPair,
     CarryStep,

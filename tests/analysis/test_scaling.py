@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.scaling import NodePoint, format_scaling, scale_design_point
+from repro.analysis.scaling import format_scaling, scale_design_point
 from repro.errors import ParameterError
 
 BASE = dict(cycles=305_232, energy_j=69.4e-9, area_mm2=0.063, batch=8)

@@ -1,8 +1,6 @@
 """Fig 8 sweep tests: shapes, feasibility boundaries, and agreement of
 the cost model with real executions."""
 
-import random
-
 import pytest
 
 from repro.analysis.sweeps import (

@@ -1,0 +1,119 @@
+"""`repro.cli check` end-to-end: parsing, exit codes, JSON output."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_check_defaults_to_all(self):
+        args = build_parser().parse_args(["check"])
+        assert args.command == "check"
+        assert args.mode == "all"
+        assert args.paths == []
+        assert args.depth == 1
+
+    def test_check_flags(self):
+        args = build_parser().parse_args(
+            ["check", "he", "--he-set", "he-16bit", "--he-set", "he-29bit",
+             "--depth", "2", "--plaintext-modulus", "4", "--seed", "7",
+             "--json"])
+        assert args.mode == "he"
+        assert args.he_sets == ["he-16bit", "he-29bit"]
+        assert args.depth == 2
+        assert args.plaintext_modulus == 4
+        assert args.seed == 7
+        assert args.json
+
+    def test_check_trace_takes_paths_and_scenarios(self):
+        args = build_parser().parse_args(
+            ["check", "trace", "a.jsonl", "b.jsonl", "--scenario", "kyber"])
+        assert args.paths == ["a.jsonl", "b.jsonl"]
+        assert args.scenarios == ["kyber"]
+
+    def test_check_unknown_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "everything"])
+
+    def test_check_unknown_he_set_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "he", "--he-set", "kyber-v1"])
+
+
+class TestExitCodes:
+    def test_catalog_prints_and_exits_zero(self, capsys):
+        from repro.check import RULE_CATALOG
+
+        main(["check", "--catalog"])
+        out = capsys.readouterr().out
+        for rule in RULE_CATALOG:
+            assert rule in out
+
+    def test_clean_registry_check_exits_zero(self, capsys):
+        main(["check", "registry"])
+        assert "no findings" in capsys.readouterr().out
+
+    def test_error_findings_exit_one(self, capsys):
+        # he-16bit cannot absorb depth 2: HE001 at error severity.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "he", "--he-set", "he-16bit", "--depth", "2"])
+        assert excinfo.value.code == 1
+        assert "HE001" in capsys.readouterr().out
+
+    def test_info_findings_exit_zero(self, capsys):
+        main(["check", "he", "--he-set", "he-16bit", "--depth", "1"])
+        out = capsys.readouterr().out
+        assert "HE001" in out and "fits" in out
+
+    def test_json_output(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", "he", "--he-set", "he-16bit", "--depth", "2",
+                  "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["errors"] == 1
+        assert doc["findings"][0]["rule"] == "HE001"
+
+    def test_bare_trace_mode_is_a_config_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "trace"])
+        assert excinfo.value.code == 2
+        assert "--scenario" in capsys.readouterr().err
+
+    def test_unreadable_trace_file_is_a_config_error(self, capsys, tmp_path):
+        bad = tmp_path / "report.json"
+        bad.write_text('{"served": 3}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "trace", str(bad)])
+        assert excinfo.value.code == 2
+        assert "JSONL" in capsys.readouterr().err
+
+
+class TestTraceFileChecking:
+    def test_recorded_jsonl_round_trip(self, capsys, tmp_path):
+        # serve --trace-out t.jsonl then check trace t.jsonl: the
+        # recorded stream of a healthy replay has no findings.
+        trace = tmp_path / "trace.jsonl"
+        main(["serve", "--scenario", "ntt", "--rate", "400", "--duration",
+              "0.05", "--pool-size", "1", "--seed", "5",
+              "--trace-out", str(trace)])
+        capsys.readouterr()
+        main(["check", "trace", str(trace)])
+        assert "no findings" in capsys.readouterr().out
+
+    def test_corrupted_jsonl_fails_the_check(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        main(["serve", "--scenario", "ntt", "--rate", "400", "--duration",
+              "0.05", "--pool-size", "1", "--seed", "5",
+              "--trace-out", str(trace)])
+        capsys.readouterr()
+        # Drop every respond event: all requests become lost.
+        kept = [line for line in trace.read_text().splitlines()
+                if json.loads(line)["phase"] != "respond"]
+        trace.write_text("\n".join(kept) + "\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "trace", str(trace)])
+        assert excinfo.value.code == 1
+        out = capsys.readouterr().out
+        assert "SCHED001" in out and str(trace) in out

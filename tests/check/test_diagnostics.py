@@ -1,0 +1,104 @@
+"""The Diagnostic model, rendering, and the custom-checker registry."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    Diagnostic,
+    RULE_CATALOG,
+    Severity,
+    available_checkers,
+    diagnostics_json,
+    error,
+    format_diagnostics,
+    format_rule_catalog,
+    has_errors,
+    info,
+    register_checker,
+    run_checkers,
+    unregister_checker,
+    warning,
+)
+from repro.errors import CheckError, ReproError
+
+
+class TestDiagnosticModel:
+    def test_uncataloged_rule_id_rejected(self):
+        with pytest.raises(CheckError):
+            Diagnostic("PROG999", Severity.ERROR, "x", "typo'd rule")
+
+    def test_check_error_is_a_repro_error(self):
+        assert issubclass(CheckError, ReproError)
+
+    def test_shorthand_severities(self):
+        assert error("PROG001", "p[0]", "m").is_error
+        assert not warning("PROG009", "p[0]", "m").is_error
+        assert not has_errors([warning("HE002", "r", "m"),
+                               info("HE001", "r", "m")])
+        assert has_errors([info("HE001", "r", "m"),
+                           error("SCHED004", "lane 0", "m")])
+
+    def test_every_rule_family_is_cataloged(self):
+        families = {rule.rstrip("0123456789") for rule in RULE_CATALOG}
+        assert families == {"PROG", "HE", "SCHED", "REG"}
+
+
+class TestRendering:
+    def test_empty_findings_render_all_clear(self):
+        assert format_diagnostics([]) == "no findings"
+
+    def test_errors_sort_first_and_are_counted(self):
+        text = format_diagnostics([
+            info("HE001", "ring", "fits"),
+            error("SCHED004", "lane 0", "overlap", hint="double booking"),
+            warning("PROG009", "p[3]", "short chain"),
+        ])
+        lines = text.splitlines()
+        assert lines[0].startswith("error")
+        assert "hint: double booking" in text
+        assert lines[-1] == "3 finding(s): 1 error(s), 1 warning(s)"
+
+    def test_json_round_trips(self):
+        doc = json.loads(diagnostics_json([
+            error("REG001", "backend 'x'", "broken", hint="fix the spec")]))
+        assert doc["errors"] == 1
+        assert doc["findings"][0]["rule"] == "REG001"
+        assert doc["findings"][0]["severity"] == "error"
+        assert doc["findings"][0]["hint"] == "fix the spec"
+
+    def test_catalog_table_lists_every_rule(self):
+        table = format_rule_catalog()
+        for rule in RULE_CATALOG:
+            assert rule in table
+
+
+class TestCustomCheckerRegistry:
+    def _rule(self):
+        return [warning("PROG012", "handbuilt", "left open")]
+
+    def test_register_run_unregister(self):
+        register_checker("t-open-sections", self._rule)
+        try:
+            assert "t-open-sections" in available_checkers()
+            found = run_checkers(("t-open-sections",))
+            assert [d.rule for d in found] == ["PROG012"]
+            # The default run pools every registered checker.
+            assert any(d.rule == "PROG012" for d in run_checkers())
+        finally:
+            unregister_checker("t-open-sections")
+        assert "t-open-sections" not in available_checkers()
+
+    def test_duplicate_registration_rejected(self):
+        register_checker("t-dup", self._rule)
+        try:
+            with pytest.raises(CheckError):
+                register_checker("t-dup", self._rule)
+            register_checker("t-dup", lambda: [], replace=True)
+            assert run_checkers(("t-dup",)) == []
+        finally:
+            unregister_checker("t-dup")
+
+    def test_unknown_checker_rejected(self):
+        with pytest.raises(CheckError):
+            run_checkers(("never-registered",))

@@ -1,0 +1,133 @@
+"""Mutation tests for the HE depth pre-checker and its admission gate."""
+
+from repro.check import (
+    HE_PARAM_SETS,
+    HEDepthGate,
+    check_depth,
+    check_scenario,
+    supported_depth,
+)
+from repro.check.diagnostics import Severity
+from repro.serve import (
+    BatchPolicy,
+    EnginePool,
+    PoolConfig,
+    Request,
+    ServingSimulator,
+    serialize_report,
+)
+
+
+def rules(diagnostics, severity=None):
+    return [d.rule for d in diagnostics
+            if severity is None or d.severity is severity]
+
+
+class TestCheckDepth:
+    def test_supported_ring_reports_headroom(self):
+        found = check_depth("he-16bit", 1)
+        assert rules(found) == ["HE001"]
+        assert found[0].severity is Severity.INFO
+        assert "fits" in found[0].message
+
+    def test_he001_chain_too_deep(self):
+        # he-16bit guarantees exactly one multiplicative level at t=2.
+        found = check_depth("he-16bit", 2)
+        assert rules(found, Severity.ERROR) == ["HE001"]
+        assert "he-29bit" in found[0].hint
+
+    def test_he002_margin_trip(self):
+        # Depth 1 on he-16bit consumes ~67% of the budget: fine at the
+        # default 90% margin, a warning when the margin is tightened.
+        found = check_depth("he-16bit", 1, margin=0.5)
+        assert rules(found) == ["HE002"]
+        assert found[0].severity is Severity.WARNING
+
+    def test_he003_unknown_ring(self):
+        found = check_depth("he-99bit", 1)
+        assert rules(found, Severity.ERROR) == ["HE003"]
+        assert "he-29bit" in found[0].hint
+
+    def test_depth_zero_is_vacuously_clean(self):
+        assert check_depth("he-16bit", 0) == []
+
+    def test_supported_depth_orders_the_paper_rings(self):
+        # Deeper moduli absorb at least as many levels (Table: the
+        # 29-bit ring exists precisely to host depth 2).
+        depths = [supported_depth(name, max_levels=3)
+                  for name in HE_PARAM_SETS]
+        assert depths == sorted(depths)
+        assert depths[0] >= 1 and depths[-1] >= 2
+
+
+class TestCheckScenario:
+    def test_he003_unknown_scenario(self):
+        found = check_scenario("no-such-scenario")
+        assert rules(found, Severity.ERROR) == ["HE003"]
+
+    def test_he_mul_scenario_fits(self):
+        # The serving scenarios route ct x ct work to rings that absorb
+        # depth 1, so the pre-check stays error-free.
+        for scenario in ("he-mul", "mixed-deep"):
+            assert rules(check_scenario(scenario), Severity.ERROR) == []
+
+
+def _he_mul_trace(count=6):
+    ring_n = 1024  # he-16bit ring size
+    identity = tuple([1] + [0] * (ring_n - 1))
+    return [
+        Request(request_id=i, op="polymul", params_name="he-16bit",
+                payload=identity, operand=identity,
+                arrival_s=i * 1e-3, tenant="agg", kind="he-mul")
+        for i in range(count)
+    ]
+
+
+class TestHEDepthGate:
+    def test_gate_passes_supported_depth(self):
+        gate = HEDepthGate()
+        assert gate(_he_mul_trace(1)[0]) is None
+
+    def test_gate_drops_unsupported_depth(self):
+        gate = HEDepthGate(required={"he-mul": 2})
+        assert gate(_he_mul_trace(1)[0]) == "he_depth_exceeded"
+
+    def test_gate_ignores_depth_free_kinds(self):
+        gate = HEDepthGate(required={"he-mul": 99})
+        request = Request(request_id=0, op="ntt", params_name="kyber-v1",
+                          payload=tuple(range(256)), operand=None,
+                          arrival_s=0.0, tenant="pqc", kind="handshake")
+        assert gate(request) is None
+
+    def test_gate_drops_unprofilable_ring(self):
+        # Request itself rejects unknown rings at construction, so fake
+        # the two attributes the gate reads: a ring it cannot profile
+        # cannot guarantee any depth.
+        from types import SimpleNamespace
+
+        gate = HEDepthGate(required={"mystery": 1})
+        request = SimpleNamespace(kind="mystery", params_name="not-a-ring")
+        assert gate(request) == HEDepthGate.REASON
+
+
+class TestGateInSimulator:
+    """The gate plugged into ServingSimulator.admission_gate."""
+
+    def _simulator(self, gate=None):
+        return ServingSimulator(
+            EnginePool(PoolConfig(size=1)), BatchPolicy(max_wait_s=1e-3),
+            admission_gate=gate,
+        )
+
+    def test_rejecting_gate_drops_with_reason(self):
+        report = self._simulator(
+            HEDepthGate(required={"he-mul": 2})).replay(_he_mul_trace())
+        assert report.count == 0
+        assert len(report.drops) == 6
+        assert {d.reason for d in report.drops} == {HEDepthGate.REASON}
+
+    def test_default_gate_is_inert_on_supported_work(self):
+        trace = _he_mul_trace()
+        gated = self._simulator(HEDepthGate()).replay(trace)
+        ungated = self._simulator().replay(trace)
+        assert serialize_report(gated) == serialize_report(ungated)

@@ -1,0 +1,41 @@
+"""The registry-drift rule (promoted from the serve --help CLI test)."""
+
+from repro.backends import register_backend, unregister_backend
+from repro.check import check_registries
+from repro.check.registry import _serve_help_text
+
+
+class TestRegistryRule:
+    def test_current_registries_are_clean(self):
+        assert check_registries() == []
+
+    def test_reg001_broken_lazy_spec(self):
+        register_backend("t-broken", "repro.no_such_module:missing")
+        try:
+            found = check_registries()
+        finally:
+            unregister_backend("t-broken")
+        assert [d.rule for d in found] == ["REG001"]
+        assert "t-broken" in found[0].location
+
+    def test_reg002_name_missing_from_help(self, monkeypatch):
+        # A resolvable name the parser does not advertise.  The real
+        # parser derives choices from the registry, so simulate the
+        # drift by pinning the help text to what it says today, then
+        # registering a new name.
+        import repro.check.registry as registry_rule
+
+        frozen_help = _serve_help_text()
+        monkeypatch.setattr(registry_rule, "_serve_help_text",
+                            lambda: frozen_help)
+        register_backend("t-undocumented", "repro.backends.model:ModelBackend")
+        try:
+            found = check_registries()
+        finally:
+            unregister_backend("t-undocumented")
+        assert [d.rule for d in found] == ["REG002"]
+        assert "t-undocumented" in found[0].location
+
+    def test_help_text_capture_works(self):
+        text = _serve_help_text()
+        assert "--backend" in text and "--scheduler" in text

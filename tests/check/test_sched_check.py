@@ -1,0 +1,173 @@
+"""Mutation tests for the scheduler-conformance checker.
+
+A small hand-built healthy event stream (two requests, one batch, one
+lane) is corrupted one invariant at a time; each corruption must be
+caught by exactly the rule that owns that invariant.
+"""
+
+from repro.check import CheckingTracer, check_trace
+from repro.obs import RecordingTracer
+from repro.obs.tracer import TraceEvent
+
+
+def ev(phase, t_s, *, request_id=None, batch_id=None, lane=None, **attrs):
+    return TraceEvent(phase=phase, t_s=t_s, request_id=request_id,
+                      batch_id=batch_id, lane=lane, attrs=attrs)
+
+
+def healthy():
+    """Two requests batched together, served once on lane 0."""
+    return [
+        ev("arrive", 0.0000, request_id=1),
+        ev("admit", 0.0000, request_id=1),
+        ev("enqueue", 0.0000, request_id=1),
+        ev("batch_open", 0.0000, batch_id=7),
+        ev("arrive", 0.0005, request_id=2),
+        ev("admit", 0.0005, request_id=2),
+        ev("enqueue", 0.0005, request_id=2),
+        ev("dispatch", 0.0010, batch_id=7, lane=0, params="kyber-v1"),
+        ev("lane_start", 0.0010, batch_id=7, lane=0, params="kyber-v1"),
+        ev("lane_finish", 0.0020, batch_id=7, lane=0, params="kyber-v1"),
+        ev("respond", 0.0020, request_id=1, batch_id=7, lane=0),
+        ev("respond", 0.0020, request_id=2, batch_id=7, lane=0),
+    ]
+
+
+def rules(diagnostics):
+    return [d.rule for d in diagnostics]
+
+
+class TestHealthyStreams:
+    def test_healthy_stream_is_clean(self):
+        assert check_trace(healthy()) == []
+
+    def test_dropped_request_is_a_valid_disposition(self):
+        events = [
+            ev("arrive", 0.0, request_id=1),
+            ev("drop", 0.0, request_id=1, reason="queue_full"),
+        ]
+        assert check_trace(events) == []
+
+    def test_incomplete_stream_tolerates_in_flight(self):
+        events = healthy()[:-1]  # request 2 still in flight
+        assert check_trace(events, complete=False) == []
+
+
+class TestDispositionRules:
+    def test_sched001_lost_request(self):
+        events = [e for e in healthy()
+                  if not (e.phase == "respond" and e.request_id == 2)]
+        found = rules(check_trace(events))
+        assert "SCHED001" in found
+        # Losing a request necessarily breaks conservation too.
+        assert "SCHED009" in found
+
+    def test_sched002_double_respond(self):
+        events = healthy() + [
+            ev("respond", 0.0030, request_id=2, batch_id=7, lane=0)]
+        assert "SCHED002" in rules(check_trace(events))
+
+    def test_sched002_drop_after_respond(self):
+        events = healthy() + [
+            ev("drop", 0.0030, request_id=1, reason="late")]
+        assert "SCHED002" in rules(check_trace(events))
+
+    def test_sched003_orphan_lifecycle_event(self):
+        events = healthy() + [ev("admit", 0.0010, request_id=99)]
+        assert rules(check_trace(events)) == ["SCHED003"]
+
+
+class TestLaneAndBatchRules:
+    def overlapping_batch(self, *, lane=0, params="kyber-v1"):
+        # Batch 8 occupies the lane while batch 7 is still running
+        # (7 runs [0.001, 0.002), 8 starts at 0.0015).
+        return [
+            ev("batch_open", 0.0005, batch_id=8),
+            ev("lane_start", 0.0015, batch_id=8, lane=lane, params=params),
+            ev("lane_finish", 0.0025, batch_id=8, lane=lane, params=params),
+        ]
+
+    def test_sched004_lane_overlap(self):
+        events = healthy() + self.overlapping_batch()
+        assert rules(check_trace(events)) == ["SCHED004"]
+
+    def test_sched004_per_params_lanes_do_not_collide(self):
+        # fifo numbers lanes per parameter set: lane 0 for another
+        # params is different hardware, quiet by default ...
+        events = healthy() + self.overlapping_batch(params="dilithium")
+        assert check_trace(events) == []
+
+    def test_sched004_shared_lanes_is_stricter(self):
+        # ... but with one global lane namespace the same stream is an
+        # overlap (the slo/adaptive GlobalLanePool contract).
+        events = healthy() + self.overlapping_batch(params="dilithium")
+        assert rules(check_trace(events, shared_lanes=True)) == ["SCHED004"]
+
+    def test_sched005_unpaired_lane_start(self):
+        events = [e for e in healthy() if e.phase != "lane_finish"]
+        assert rules(check_trace(events)) == ["SCHED005"]
+
+    def test_sched006_dispatch_before_batch_open(self):
+        events = healthy()
+        events = [ev("batch_open", 0.0015, batch_id=7)
+                  if e.phase == "batch_open" else e for e in events]
+        assert rules(check_trace(events)) == ["SCHED006"]
+
+    def test_sched006_dispatch_without_batch_open(self):
+        events = [e for e in healthy() if e.phase != "batch_open"]
+        assert rules(check_trace(events)) == ["SCHED006"]
+
+
+class TestClockRules:
+    def test_sched007_event_after_respond(self):
+        events = healthy() + [ev("enqueue", 0.0050, request_id=1)]
+        # The late enqueue also lands after the respond in stage order,
+        # so the monotone rule fires alongside the containment rule.
+        assert "SCHED007" in rules(check_trace(events))
+
+    def test_sched008_stage_timestamps_reversed(self):
+        events = [ev("admit", -0.0005, request_id=1)
+                  if e.phase == "admit" and e.request_id == 1 else e
+                  for e in healthy()]
+        assert rules(check_trace(events)) == ["SCHED008"]
+
+    def test_sched008_drop_before_arrive(self):
+        events = [
+            ev("arrive", 0.0010, request_id=1),
+            ev("drop", 0.0005, request_id=1, reason="time travel"),
+        ]
+        assert rules(check_trace(events)) == ["SCHED008"]
+
+    def test_sched009_conservation_without_lost_arrival(self):
+        # An admit with no request-level loss elsewhere: request 3
+        # arrives and is admitted but the stream ends (complete) with
+        # no disposition.
+        events = healthy() + [
+            ev("arrive", 0.0010, request_id=3),
+            ev("admit", 0.0010, request_id=3),
+        ]
+        found = rules(check_trace(events))
+        assert "SCHED009" in found
+
+
+class TestCheckingTracer:
+    def test_buffers_and_checks_live(self):
+        tracer = CheckingTracer()
+        for event in healthy():
+            tracer.emit(event)
+        assert len(tracer) == len(healthy())
+        assert tracer.finish() == []
+
+    def test_catches_corruption_live(self):
+        tracer = CheckingTracer()
+        for event in healthy()[:-1]:
+            tracer.emit(event)
+        assert "SCHED001" in rules(tracer.finish())
+        assert tracer.finish(complete=False) == []
+
+    def test_forwards_to_inner_tracer(self):
+        inner = RecordingTracer()
+        tracer = CheckingTracer(inner)
+        for event in healthy():
+            tracer.emit(event)
+        assert list(inner.events) == healthy()

@@ -8,7 +8,7 @@ from repro.core.engine import BPNTTEngine
 from repro.core.scheduler import butterfly_count
 from repro.errors import ParameterError, VerificationError
 from repro.ntt.params import NTTParams
-from repro.ntt.transform import intt_negacyclic, ntt_negacyclic, polymul_negacyclic
+from repro.ntt.transform import ntt_negacyclic, polymul_negacyclic
 
 SMALL = NTTParams(n=8, q=17)
 MEDIUM = NTTParams(n=16, q=97)

@@ -11,7 +11,6 @@ These pin the algebraic laws the whole system rests on:
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

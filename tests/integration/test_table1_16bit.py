@@ -12,7 +12,7 @@ import pytest
 from repro.core.engine import BPNTTEngine
 from repro.mont.bitparallel import safe_modulus_bound
 from repro.ntt.params import get_params
-from repro.ntt.transform import intt_negacyclic, ntt_negacyclic
+from repro.ntt.transform import ntt_negacyclic
 
 
 @pytest.fixture(scope="module")

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ParameterError
 from repro.ntt.params import NTTParams, get_params
+from repro.ntt.recursive import naive_dft, recursive_ntt, recursive_ntt_negacyclic
 from repro.ntt.transform import (
     intt,
     intt_cyclic,
@@ -19,7 +20,6 @@ from repro.ntt.transform import (
     schoolbook_cyclic,
     schoolbook_negacyclic,
 )
-from repro.ntt.recursive import naive_dft, recursive_ntt, recursive_ntt_negacyclic
 from repro.utils.bitops import bit_reverse_permutation
 
 SMALL = NTTParams(n=8, q=17)

@@ -92,16 +92,33 @@ def golden_path(name: str) -> pathlib.Path:
 
 def main() -> None:
     import argparse
+    import sys
 
+    from repro.check import checked_replay, format_diagnostics, has_errors
     from repro.serve import serialize_report
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--write", action="store_true",
-                        help="regenerate the golden files")
+                        help="regenerate the golden files (refused when the "
+                             "fresh trace fails the scheduler-conformance "
+                             "checks — goldens cannot re-pin a broken "
+                             "invariant)")
     args = parser.parse_args()
     GOLDEN_DIR.mkdir(exist_ok=True)
+    failed = False
     for name, build in SCENARIO_BUILDERS.items():
-        serialized = serialize_report(build())
+        # Replay under the conformance checker either way: a golden that
+        # violates the serving contract must neither be written nor
+        # silently reported as matching.
+        report, findings = checked_replay(
+            build, shared_lanes=name == "mixed-slo")
+        if has_errors(findings):
+            print(f"{name}: REFUSED — the fresh trace violates the "
+                  f"serving contract:")
+            print(format_diagnostics(findings))
+            failed = True
+            continue
+        serialized = serialize_report(report)
         path = golden_path(name)
         if args.write:
             path.write_text(serialized + "\n")
@@ -110,6 +127,8 @@ def main() -> None:
             status = "matches" if path.read_text().rstrip("\n") == serialized \
                 else "DIFFERS"
             print(f"{name}: {status} ({path})")
+    if failed:
+        sys.exit(1)
 
 
 if __name__ == "__main__":

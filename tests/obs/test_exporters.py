@@ -121,8 +121,8 @@ class TestPrometheus:
         text = format_prometheus(report.registry)
         lines = text.rstrip("\n").split("\n")
         # One TYPE header per metric name, emitted once.
-        type_lines = [l for l in lines if l.startswith("# TYPE ")]
-        assert len(type_lines) == len({l.split()[2] for l in type_lines})
+        type_lines = [ln for ln in lines if ln.startswith("# TYPE ")]
+        assert len(type_lines) == len({ln.split()[2] for ln in type_lines})
         assert "# TYPE serve_requests counter" in text
         assert "# TYPE serve_latency_ms histogram" in text
         assert "# TYPE sched_queue_depth gauge" in text

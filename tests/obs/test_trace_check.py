@@ -1,0 +1,40 @@
+"""The three golden scenarios must satisfy the serving contract.
+
+The parity tests prove the goldens replay bit-identically; these prove
+the replays are also *conformant* — zero error diagnostics from the
+scheduler checker — so a golden can never quietly pin a broken
+invariant (and `scenarios.py --write` refuses to regenerate one).
+"""
+
+import pytest
+from scenarios import SCENARIO_BUILDERS
+
+from repro.check import CheckingTracer, checked_replay
+from repro.obs import RecordingTracer
+from repro.serve import serialize_report
+
+
+def shared(name):
+    # mixed-slo runs the slo scheduler's global lane pool: one lane
+    # namespace, so the checker can use the stricter grouping.
+    return name == "mixed-slo"
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+def test_golden_scenario_checks_clean(name):
+    _, findings = checked_replay(SCENARIO_BUILDERS[name],
+                                 shared_lanes=shared(name))
+    assert [d for d in findings if d.is_error] == []
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+def test_checking_tracer_does_not_perturb_the_replay(name):
+    build = SCENARIO_BUILDERS[name]
+    plain = serialize_report(build())
+    inner = RecordingTracer()
+    checked = CheckingTracer(inner, shared_lanes=shared(name))
+    wrapped = serialize_report(build(tracer=checked))
+    assert wrapped == plain
+    # ... and the wrapped tracer forwarded the full stream inward.
+    assert len(inner.events) == len(checked)
+    assert list(inner.events) == list(checked.events)

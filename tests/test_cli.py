@@ -10,9 +10,11 @@ class TestParser:
         parser = build_parser()
         for cmd in ("table1", "fig1", "fig6", "fig7", "fig8a", "fig8b",
                     "verify", "breakdown", "scaling", "serve", "backends",
-                    "hedepth"):
+                    "hedepth", "check"):
             args = parser.parse_args([cmd] if cmd != "verify" else [cmd, "--trials", "1"])
             assert args.command == cmd
+        args = parser.parse_args(["trace", "t.json"])
+        assert args.command == "trace"
 
     def test_serve_flags(self):
         args = build_parser().parse_args(
@@ -229,21 +231,12 @@ class TestObservabilityCli:
 
     def test_serve_help_lists_registry_names(self):
         # The --backend/--scheduler help text must track the registries,
-        # not a hand-maintained list.
-        from repro.backends import available_backends
-        from repro.sched import available_schedulers
+        # not a hand-maintained list.  Promoted into a reusable rule
+        # (`repro.cli check registry`, REG001/REG002); this asserts the
+        # rule itself finds today's registries clean.
+        from repro.check import check_registries
 
-        import contextlib
-        import io
-
-        buffer = io.StringIO()
-        with pytest.raises(SystemExit), contextlib.redirect_stdout(buffer):
-            build_parser().parse_args(["serve", "--help"])
-        help_text = buffer.getvalue()
-        for name in available_backends():
-            assert name in help_text
-        for name in available_schedulers():
-            assert name in help_text
+        assert check_registries() == []
 
     def test_serve_writes_chrome_trace_and_metrics(self, capsys, tmp_path):
         import json
