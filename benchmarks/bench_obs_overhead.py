@@ -27,7 +27,7 @@ import argparse
 import time
 
 from _bench_json import write_bench_json
-from repro.obs import RecordingTracer
+from repro.obs import RecordingTracer, SamplingTracer, format_sampling_stats
 from repro.serve import (
     BatchPolicy,
     EnginePool,
@@ -44,6 +44,7 @@ QUICK_DURATION_S = 0.05
 SEED = 42
 REPEATS = 3
 MAX_OVERHEAD = 0.10
+SAMPLE_RATE = 0.10
 
 
 def run_overhead(duration_s: float, repeats: int = REPEATS):
@@ -112,12 +113,126 @@ def assert_overhead(m) -> None:
     )
 
 
+def run_sampling(duration_s: float):
+    """Tail-based sampling keeps the interesting spans in O(kept) memory.
+
+    Replays an overloaded SLO scenario twice — once fully recorded,
+    once through a :class:`SamplingTracer` at ``SAMPLE_RATE`` — and
+    asserts the sampling contract:
+
+    1. parity (sampling never perturbs the replay),
+    2. every dropped and deadline-missed request keeps its *complete*
+       span set,
+    3. memory is O(kept + in-flight): the kept stream is a strict
+       subset, the undecided buffers drain to zero, and their peak is
+       bounded by the peak concurrent in-flight population — not by
+       the request count.
+    """
+    trace = bursty_trace(SCENARIO, RATE, duration_s, seed=SEED)
+    simulator = ServingSimulator(
+        EnginePool(PoolConfig(size=2)), BatchPolicy(max_wait_s=2e-3),
+        scheduler="slo", scheduler_options=dict(queue_limit=8),
+    )
+    full = RecordingTracer()
+    report_full = simulator.replay(trace, tracer=full)
+    sampler = SamplingTracer(rate=SAMPLE_RATE)
+    report_sampled = simulator.replay(trace, tracer=sampler)
+    assert serialize_report(report_sampled) == serialize_report(report_full), \
+        "sampled replay diverged from the fully recorded one"
+
+    deadlines = {e.request_id: e.attrs.get("deadline_s")
+                 for e in full.events if e.phase == "arrive"}
+    drop_ids = {e.request_id for e in full.events if e.phase == "drop"}
+    miss_ids = {
+        e.request_id for e in full.events
+        if e.phase == "respond" and deadlines.get(e.request_id) is not None
+        and e.t_s > deadlines[e.request_id]
+    }
+    assert drop_ids, "scenario produced no drops; the retention claim is vacuous"
+    interesting = drop_ids | miss_ids
+
+    def spans(events, ids):
+        return {(e.request_id, e.phase) for e in events
+                if e.request_id in ids}
+
+    kept = sampler.events
+    assert spans(kept, interesting) == spans(full.events, interesting), \
+        "a dropped/deadline-missed request lost part of its span set"
+
+    # Peak concurrent in-flight requests (arrive .. respond/drop), the
+    # yardstick the transient buffers must stay proportional to.
+    deltas = []
+    for e in full.events:
+        if e.phase == "arrive":
+            deltas.append((e.t_s, 1))
+        elif e.phase in ("respond", "drop"):
+            deltas.append((e.t_s, -1))
+    live = peak_inflight = 0
+    for _, delta in sorted(deltas, key=lambda td: (td[0], td[1])):
+        live += delta
+        peak_inflight = max(peak_inflight, live)
+
+    assert sampler.pending == 0, "undecided buffers did not drain"
+    assert sampler.peak_pending <= max(64, 4 * peak_inflight), (
+        f"peak pending {sampler.peak_pending} is not O(in-flight) "
+        f"(peak in-flight {peak_inflight})"
+    )
+    assert len(kept) < len(full.events), "sampling kept every event"
+    head_budget = int(0.2 * sampler.seen_requests) + 10
+    assert sampler.kept_requests <= len(interesting) + head_budget, (
+        f"kept {sampler.kept_requests} of {sampler.seen_requests} requests "
+        f"at rate {SAMPLE_RATE:.0%} with {len(interesting)} interesting — "
+        f"not O(sampled)"
+    )
+    return {
+        "sample_rate": SAMPLE_RATE,
+        "seen_requests": sampler.seen_requests,
+        "kept_requests": sampler.kept_requests,
+        "kept_events": len(kept),
+        "total_events": len(full.events),
+        "peak_pending": sampler.peak_pending,
+        "peak_inflight": peak_inflight,
+        "drop_spans": len(drop_ids),
+        "deadline_miss_spans": len(miss_ids),
+    }, sampler
+
+
+def format_sampling_summary(m, sampler) -> str:
+    return "\n".join([
+        f"{SCENARIO} bursty trace, {RATE:g} calls/s, seed {SEED}, "
+        f"slo scheduler (queue_limit 8), head rate {SAMPLE_RATE:.0%}",
+        "",
+        format_sampling_stats(sampler),
+        "",
+        f"kept events         {m['kept_events']:>10} "
+        f"of {m['total_events']} recorded",
+        f"drop spans kept     {m['drop_spans']:>10} of {m['drop_spans']}",
+        f"deadline-miss spans {m['deadline_miss_spans']:>10} "
+        f"of {m['deadline_miss_spans']}",
+        f"peak pending        {m['peak_pending']:>10} "
+        f"(peak in-flight {m['peak_inflight']})",
+        "",
+        "complete span retention for drops/misses asserted; "
+        "buffers drained to zero",
+    ])
+
+
 def test_obs_overhead(artifact_writer):
     m = run_overhead(DURATION_S)
     artifact_writer("obs_overhead", format_summary(m))
     write_bench_json("obs", f"{SCENARIO} bursty {RATE:g}/s seed {SEED}", m)
     assert m["events"] > 0
     assert_overhead(m)
+
+
+def test_obs_sampling_memory(artifact_writer):
+    m, sampler = run_sampling(DURATION_S)
+    artifact_writer("obs_sampling", format_sampling_summary(m, sampler))
+    write_bench_json(
+        "obs_sampling",
+        f"{SCENARIO} bursty {RATE:g}/s seed {SEED} rate {SAMPLE_RATE:g}",
+        m,
+    )
 
 
 def main() -> None:
@@ -131,6 +246,15 @@ def main() -> None:
     print(format_summary(m))
     path = write_bench_json(
         "obs", f"{SCENARIO} bursty {RATE:g}/s seed {SEED}", m
+    )
+    print(f"\nwrote {path}")
+    ms, sampler = run_sampling(duration)
+    print()
+    print(format_sampling_summary(ms, sampler))
+    path = write_bench_json(
+        "obs_sampling",
+        f"{SCENARIO} bursty {RATE:g}/s seed {SEED} rate {SAMPLE_RATE:g}",
+        ms,
     )
     print(f"\nwrote {path}")
     if not args.quick:

@@ -1,0 +1,210 @@
+"""Benchmark regression comparison over ``BENCH_*.json`` artifacts.
+
+Every trend-tracked bench writes one flat-metrics JSON file
+(``benchmarks/_bench_json.write_bench_json``).  This module makes the
+trajectory *enforceable*: load a baseline artifact (or a directory of
+them) and a fresh one, diff every shared metric with a relative
+tolerance, and classify each delta — ``repro.cli bench compare`` exits
+non-zero when anything regressed, which is the CI gate.
+
+Direction matters: a higher ``throughput_rps`` is an improvement, a
+higher ``p99_ms`` is a regression.  Metric names are classified by
+suffix/substring heuristics (:data:`HIGHER_IS_BETTER_PATTERNS`);
+anything unmatched defaults to lower-is-better, which is correct for
+the latency / overhead / energy metrics that dominate bench output.
+Host-dependent wall-clock metrics (``baseline_s`` and friends) should
+be excluded with ``ignore`` — simulated-clock metrics are
+deterministic and diff exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+
+#: Substrings marking metrics where *bigger is better*.  Everything
+#: else (latencies, overheads, energy, memory) regresses upward.
+HIGHER_IS_BETTER_PATTERNS = (
+    "throughput", "rps", "attainment", "met", "requests", "events",
+    "speedup", "coverage",
+)
+
+#: Verdicts a metric delta can carry.
+VERDICTS = ("ok", "improved", "regressed", "new", "missing", "ignored")
+
+
+def higher_is_better(metric: str) -> bool:
+    name = metric.lower()
+    return any(pattern in name for pattern in HIGHER_IS_BETTER_PATTERNS)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across baseline and fresh artifacts."""
+
+    bench: str
+    metric: str
+    baseline: Optional[float]
+    fresh: Optional[float]
+    verdict: str
+
+    @property
+    def delta_frac(self) -> float:
+        """Relative change fresh vs baseline (NaN when undefined)."""
+        if self.baseline is None or self.fresh is None:
+            return float("nan")
+        if self.baseline == 0:
+            return 0.0 if self.fresh == 0 else math.inf
+        return (self.fresh - self.baseline) / abs(self.baseline)
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Every metric delta across one baseline/fresh artifact pair (or dirs)."""
+
+    deltas: Tuple[MetricDelta, ...]
+
+    @property
+    def regressions(self) -> Tuple[MetricDelta, ...]:
+        return tuple(d for d in self.deltas if d.verdict == "regressed")
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def load_bench(path) -> Dict[str, Dict[str, object]]:
+    """Load one ``BENCH_*.json`` file or every one inside a directory.
+
+    Returns ``{bench_name: payload}``; validates the schema marker so a
+    stray JSON file fails loudly instead of diffing garbage.
+    """
+    p = pathlib.Path(path)
+    if p.is_dir():
+        files = sorted(p.glob("BENCH_*.json"))
+        if not files:
+            raise ParameterError(f"no BENCH_*.json files in {p}")
+    elif p.is_file():
+        files = [p]
+    else:
+        raise ParameterError(f"bench path {p} does not exist")
+    out: Dict[str, Dict[str, object]] = {}
+    for file in files:
+        try:
+            payload = json.loads(file.read_text())
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"{file} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("schema") != 1 \
+                or "metrics" not in payload or "name" not in payload:
+            raise ParameterError(
+                f"{file} is not a schema-1 BENCH artifact "
+                f"(needs schema/name/metrics keys)"
+            )
+        out[str(payload["name"])] = payload
+    return out
+
+
+def _compare_metrics(bench: str, base: Mapping[str, float],
+                     fresh: Mapping[str, float], *, tolerance: float,
+                     ignore: Sequence[str]) -> List[MetricDelta]:
+    deltas: List[MetricDelta] = []
+    for metric in sorted(set(base) | set(fresh)):
+        b = base.get(metric)
+        f = fresh.get(metric)
+        if metric in ignore:
+            verdict = "ignored"
+        elif b is None:
+            verdict = "new"
+        elif f is None:
+            verdict = "missing"
+        else:
+            if b == 0:
+                frac = 0.0 if f == 0 else math.inf * (1 if f > 0 else -1)
+            else:
+                frac = (f - b) / abs(b)
+            worse = -frac if higher_is_better(metric) else frac
+            if worse > tolerance:
+                verdict = "regressed"
+            elif worse < -tolerance:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+        deltas.append(MetricDelta(bench=bench, metric=metric, baseline=b,
+                                  fresh=f, verdict=verdict))
+    return deltas
+
+
+def compare_bench(baseline_path, fresh_path, *, tolerance: float = 0.05,
+                  ignore: Sequence[str] = ()) -> BenchComparison:
+    """Diff two artifacts (or directories of artifacts).
+
+    ``tolerance`` is the relative slack before a worse-direction delta
+    counts as a regression; ``ignore`` names metrics excluded from the
+    verdict (host wall-clock measurements).  A bench present only on
+    one side is reported metric-by-metric as ``new``/``missing`` but
+    never fails the comparison — only a measured regression does.
+    """
+    if tolerance < 0:
+        raise ParameterError(f"tolerance must be >= 0, got {tolerance}")
+    base = load_bench(baseline_path)
+    fresh = load_bench(fresh_path)
+    deltas: List[MetricDelta] = []
+    for name in sorted(set(base) | set(fresh)):
+        base_metrics = base.get(name, {}).get("metrics", {})
+        fresh_metrics = fresh.get(name, {}).get("metrics", {})
+        deltas.extend(_compare_metrics(
+            name, base_metrics, fresh_metrics,
+            tolerance=tolerance, ignore=ignore,
+        ))
+    return BenchComparison(deltas=tuple(deltas))
+
+
+def _fmt_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if float(value).is_integer() and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _fmt_delta(delta: MetricDelta) -> str:
+    frac = delta.delta_frac
+    if frac != frac:  # NaN: one side missing
+        return "-"
+    if math.isinf(frac):
+        return "inf"
+    return f"{frac:+.1%}"
+
+
+def format_comparison(comparison: BenchComparison, *,
+                      verbose: bool = False) -> str:
+    """Fixed-width delta table; quiet rows hidden unless ``verbose``."""
+    header = (
+        f"{'Bench':<12} {'Metric':<24} {'Baseline':>12} {'Fresh':>12} "
+        f"{'Delta':>8} {'Verdict':<10}"
+    )
+    lines = [header, "-" * len(header)]
+    shown = 0
+    for d in comparison.deltas:
+        if not verbose and d.verdict == "ok":
+            continue
+        shown += 1
+        lines.append(
+            f"{d.bench:<12} {d.metric:<24} {_fmt_value(d.baseline):>12} "
+            f"{_fmt_value(d.fresh):>12} {_fmt_delta(d):>8} "
+            f"{d.verdict.upper() if d.verdict == 'regressed' else d.verdict:<10}"
+        )
+    if not shown:
+        lines.append(f"{'(all metrics within tolerance)':<12}")
+    counts: Dict[str, int] = {}
+    for d in comparison.deltas:
+        counts[d.verdict] = counts.get(d.verdict, 0) + 1
+    summary = ", ".join(f"{counts[v]} {v}" for v in VERDICTS if v in counts)
+    lines.append("")
+    lines.append(f"{len(comparison.deltas)} metric(s) compared: {summary}")
+    return "\n".join(lines)

@@ -35,6 +35,16 @@ trace format back and prints the per-stage latency breakdown
 (admission / batching / lane-wait / service) for the p50/p95/p99
 requests plus critical-path attribution.
 
+Streaming telemetry: ``serve --slo-policy policy.json`` evaluates
+multi-window burn-rate rules per tenant during the replay and appends
+the fired/resolved alert history to the report (alert events also land
+in ``--trace-out`` files); ``watch`` renders the windowed metric stream
+(rates, depth, occupancy, per-stage p95, attainment, active alerts) as
+a refreshing terminal table from a live replay or ``--from-jsonl``
+recording; ``bench compare baseline/ fresh/`` diffs ``BENCH_*.json``
+artifacts with a relative tolerance and exits non-zero on regression
+(the CI trend gate).
+
 Static checks (:mod:`repro.check`): ``check program`` verifies compiled
 instruction streams (dataflow, geometry, carry-chain widths, cost
 tables), ``check he`` bounds multiply-chain noise against the decrypt
@@ -212,7 +222,16 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             from repro.obs import RecordingTracer
 
             tracer = RecordingTracer()
-        report = simulator.replay(trace, tracer=tracer)
+        replay_tracer = tracer
+        if args.slo_policy is not None:
+            from repro.obs import SLOPolicy, SLOTracer
+
+            policy_spec = SLOPolicy.from_file(args.slo_policy)
+            # Wrap whatever tracer is active: the SLO monitor feeds the
+            # recording (alert events land in --trace-out files) and
+            # surfaces its Alert history into the report.
+            replay_tracer = SLOTracer(policy_spec, inner=tracer)
+        report = simulator.replay(trace, tracer=replay_tracer)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         sys.exit(2)
@@ -251,6 +270,107 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     except (ReproError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         sys.exit(2)
+
+
+def _cmd_watch(args: argparse.Namespace) -> None:
+    from repro.errors import ReproError
+    from repro.obs import WindowedAggregator, WindowSpec, format_alerts
+    from repro.obs.stream import format_frame_row, format_watch_header
+
+    # A tty gets a refreshing table (home + clear before each redraw);
+    # pipes and tests get one appended line per completed window, which
+    # is also what --no-refresh forces.
+    refresh = sys.stdout.isatty() and not args.no_refresh
+    header = format_watch_header()
+    slo_tracer = None
+    rows: List[str] = []
+
+    def on_frame(frame) -> None:
+        active = 0 if slo_tracer is None \
+            else slo_tracer.active_alerts(frame.end_s)
+        rows.append(format_frame_row(frame, active_alerts=active))
+        if refresh:
+            sys.stdout.write("\x1b[H\x1b[2J")
+            print(header)
+            print("\n".join(rows[-args.rows:]))
+            sys.stdout.flush()
+        else:
+            print(rows[-1], flush=True)
+
+    try:
+        if args.window_ms <= 0:
+            raise ReproError(
+                f"--window-ms must be > 0, got {args.window_ms:g}")
+        aggregator = WindowedAggregator(
+            (WindowSpec(args.window_ms * 1e-3),), on_frame=on_frame)
+        tracer = aggregator
+        if args.slo_policy is not None:
+            from repro.obs import SLOPolicy, SLOTracer
+
+            slo_tracer = SLOTracer(SLOPolicy.from_file(args.slo_policy),
+                                   inner=aggregator)
+            tracer = slo_tracer
+        if not refresh:
+            print(header)
+        if args.from_jsonl is not None:
+            from repro.obs import read_jsonl
+
+            for event in read_jsonl(args.from_jsonl):
+                tracer.emit(event)
+            tracer.finish()
+        else:
+            from repro.serve import (
+                BatchPolicy,
+                EnginePool,
+                PoolConfig,
+                ServingSimulator,
+                bursty_trace,
+                poisson_trace,
+            )
+
+            make_trace = poisson_trace if args.arrivals == "poisson" \
+                else bursty_trace
+            trace = make_trace(args.scenario, args.rate, args.duration,
+                               seed=args.seed)
+            if not trace:
+                print("trace is empty; raise --rate or --duration")
+                sys.exit(1)
+            scheduler_options = {}
+            if args.queue_limit is not None:
+                scheduler_options["queue_limit"] = args.queue_limit
+            simulator = ServingSimulator(
+                EnginePool(PoolConfig(size=args.pool_size)),
+                BatchPolicy(max_wait_s=args.max_wait_ms * 1e-3),
+                scheduler=args.scheduler,
+                scheduler_options=scheduler_options,
+            )
+            simulator.replay(trace, tracer=tracer)  # replay calls finish()
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        sys.exit(2)
+    frames = aggregator.frames()
+    print(f"\n{len(frames)} completed window(s) of "
+          f"{args.window_ms:g} ms")
+    if slo_tracer is not None and slo_tracer.alerts:
+        print()
+        print(format_alerts(slo_tracer.alerts))
+
+
+def _cmd_bench(args: argparse.Namespace) -> None:
+    from repro.analysis.benchdiff import compare_bench, format_comparison
+    from repro.errors import ReproError
+
+    try:
+        comparison = compare_bench(
+            args.baseline, args.fresh,
+            tolerance=args.tolerance, ignore=tuple(args.ignore or ()),
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        sys.exit(2)
+    print(format_comparison(comparison, verbose=args.verbose))
+    if not comparison.ok:
+        sys.exit(1)
 
 
 #: The paper's HE security levels, in depth order.
@@ -467,6 +587,8 @@ _COMMANDS = {
     "scaling": _cmd_scaling,
     "serve": _cmd_serve,
     "trace": _cmd_trace,
+    "watch": _cmd_watch,
+    "bench": _cmd_bench,
     "backends": _cmd_backends,
     "hedepth": _cmd_hedepth,
     "check": _cmd_check,
@@ -537,7 +659,72 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--metrics-out", default=None, metavar="PATH",
                              help="write the replay's metrics registry here "
                                   "in Prometheus text format")
+            cmd.add_argument("--slo-policy", default=None, metavar="PATH",
+                             help="JSON SLO policy (objective, burn-rate "
+                                  "rules); evaluates multi-window burn "
+                                  "rates per tenant during the replay and "
+                                  "adds the alert history to the report")
             cmd.add_argument("--seed", type=int, default=2023)
+            continue
+        if name == "watch":
+            cmd = sub.add_parser(
+                name, help="live windowed-telemetry table of a replay or "
+                           "a recorded JSONL trace"
+            )
+            cmd.add_argument("--from-jsonl", default=None, metavar="PATH",
+                             help="stream a recorded JSONL event log "
+                                  "(from `serve --trace-out t.jsonl`) "
+                                  "instead of replaying live")
+            cmd.add_argument("--window-ms", type=float, default=2.0,
+                             help="window width in ms (default 2)")
+            cmd.add_argument("--slo-policy", default=None, metavar="PATH",
+                             help="JSON SLO policy; adds live burn-rate "
+                                  "alerts to the view")
+            cmd.add_argument("--rows", type=int, default=20,
+                             help="visible rows in refresh mode (default 20)")
+            cmd.add_argument("--no-refresh", action="store_true",
+                             help="append one line per window even on a "
+                                  "tty (the pipe/CI default)")
+            cmd.add_argument("--scenario", default="mixed-slo",
+                             help="live mode traffic mix (default mixed-slo)")
+            cmd.add_argument("--rate", type=float, default=4000.0,
+                             help="live mode calls per second (default 4000)")
+            cmd.add_argument("--duration", type=float, default=0.05,
+                             help="live mode trace length in s (default 0.05)")
+            cmd.add_argument("--arrivals", choices=("poisson", "bursty"),
+                             default="bursty", help="live arrival process")
+            cmd.add_argument("--scheduler", choices=scheduler_names,
+                             default="slo",
+                             help="live mode scheduler (default slo)")
+            cmd.add_argument("--queue-limit", type=int, default=None,
+                             help="slo scheduler queue bound")
+            cmd.add_argument("--pool-size", type=int, default=2,
+                             help="engines per parameter set (default 2)")
+            cmd.add_argument("--max-wait-ms", type=float, default=2.0,
+                             help="batch coalescing window in ms (default 2)")
+            cmd.add_argument("--seed", type=int, default=2023)
+            continue
+        if name == "bench":
+            cmd = sub.add_parser(
+                name, help="compare BENCH_*.json artifacts; exit 1 on "
+                           "regression"
+            )
+            cmd.add_argument("mode", choices=("compare",),
+                             help="bench operation (only compare for now)")
+            cmd.add_argument("baseline",
+                             help="baseline BENCH_*.json file or directory")
+            cmd.add_argument("fresh",
+                             help="fresh BENCH_*.json file or directory")
+            cmd.add_argument("--tolerance", type=float, default=0.05,
+                             help="relative slack before a worse-direction "
+                                  "delta regresses (default 0.05)")
+            cmd.add_argument("--ignore", action="append", default=None,
+                             metavar="METRIC",
+                             help="metric excluded from the verdict "
+                                  "(repeatable; use for host wall-clock "
+                                  "measurements)")
+            cmd.add_argument("--verbose", action="store_true",
+                             help="show within-tolerance rows too")
             continue
         if name == "trace":
             cmd = sub.add_parser(

@@ -19,6 +19,16 @@ package makes those decisions *observable* without perturbing them:
 - :mod:`repro.obs.summary` — ``repro.cli trace``: per-stage latency
   breakdown for the p50/p95/p99 requests and critical-path
   attribution.
+- :mod:`repro.obs.stream` — streaming windowed aggregation
+  (:class:`WindowedAggregator`): tumbling/sliding windows of rates,
+  depth, occupancy and sketch-based latency quantiles in bounded
+  memory, powering ``repro.cli watch``.
+- :mod:`repro.obs.slo` — declarative :class:`SLOPolicy` evaluated on
+  the window stream with multi-window burn-rate rules
+  (:class:`SLOTracer`), emitting ``alert`` events into the trace.
+- :mod:`repro.obs.sampling` — tail-based :class:`SamplingTracer`:
+  head-samples normal traffic, always keeps dropped / deadline-missed
+  / alert-overlapping / slowest-percentile request spans.
 
 The disassembly/trace utilities of :mod:`repro.sram.tracer`
 (:func:`disassemble`, :class:`TracingExecutor`) are re-exported here so
@@ -26,6 +36,7 @@ program-level and request-level tracing share one import surface.
 """
 
 from repro.obs.exporters import (
+    JsonlExporter,
     chrome_trace,
     format_prometheus,
     read_jsonl,
@@ -39,6 +50,23 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.sampling import SamplingTracer, format_sampling_stats
+from repro.obs.slo import (
+    Alert,
+    BurnRateRule,
+    SLOPolicy,
+    SLOTracer,
+    format_alerts,
+)
+from repro.obs.stream import (
+    QuantileSketch,
+    StageStats,
+    TenantFrame,
+    WindowedAggregator,
+    WindowFrame,
+    WindowSpec,
+    format_watch_table,
 )
 from repro.obs.summary import (
     STAGES,
@@ -60,22 +88,37 @@ from repro.sram.tracer import TracingExecutor, disassemble
 
 __all__ = [
     "AUX_PHASES",
+    "Alert",
+    "BurnRateRule",
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonlExporter",
     "LIFECYCLE_PHASES",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "QuantileSketch",
     "RecordingTracer",
     "RequestTimeline",
+    "SLOPolicy",
+    "SLOTracer",
     "STAGES",
+    "SamplingTracer",
+    "StageStats",
+    "TenantFrame",
     "TraceEvent",
     "Tracer",
     "TracingExecutor",
+    "WindowFrame",
+    "WindowSpec",
+    "WindowedAggregator",
     "chrome_trace",
     "disassemble",
+    "format_alerts",
     "format_prometheus",
+    "format_sampling_stats",
+    "format_watch_table",
     "load_timelines",
     "program_events",
     "read_jsonl",

@@ -5,7 +5,9 @@ Three consumers, three formats, one event stream:
 - :func:`to_jsonl` / :func:`write_jsonl` — the raw
   :class:`~repro.obs.tracer.TraceEvent` stream, one JSON object per
   line, in emission order.  The machine-readable ground truth;
-  ``repro.cli trace`` reads it back.
+  ``repro.cli trace`` reads it back.  :class:`JsonlExporter` is the
+  streaming flavor: a tracer that appends each event as it is emitted,
+  for replays too long to buffer.
 - :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event
   Format JSON that Perfetto / ``chrome://tracing`` loads: lanes are
   tracks (pid 0, one tid per lane) carrying batch slices and nested
@@ -13,8 +15,9 @@ Three consumers, three formats, one event stream:
   instant / end events mark the lifecycle phases.  Timestamps are the
   replay's simulated microseconds.
 - :func:`format_prometheus` / :func:`write_prometheus` — the registry's
-  instruments as a Prometheus text-format dump (``# TYPE`` headers,
-  labeled series, ``_bucket``/``_sum``/``_count`` for histograms).
+  instruments as a Prometheus text-format dump (``# HELP``/``# TYPE``
+  headers, spec-escaped label values, ``_bucket``/``_sum``/``_count``
+  for histograms).
 
 All writers are pure functions over the recorded events/instruments;
 they run after the replay, so exporting can never perturb it.
@@ -33,17 +36,74 @@ from repro.obs.tracer import TraceEvent
 # -- JSONL -------------------------------------------------------------------
 
 
+def _event_line(event: TraceEvent) -> str:
+    return json.dumps(asdict(event), separators=(",", ":"), sort_keys=True)
+
+
 def to_jsonl(events: Sequence[TraceEvent]) -> str:
     """One compact JSON object per event, in emission order."""
-    return "\n".join(
-        json.dumps(asdict(e), separators=(",", ":"), sort_keys=True)
-        for e in events
-    )
+    return "\n".join(_event_line(e) for e in events)
 
 
 def write_jsonl(events: Sequence[TraceEvent], path) -> None:
     with open(path, "w") as handle:
         handle.write(to_jsonl(events) + "\n")
+
+
+class JsonlExporter:
+    """Streaming JSONL writer: a tracer that appends as events arrive.
+
+    Where :func:`write_jsonl` needs the whole recorded stream in
+    memory, this sink writes each event the moment it is emitted —
+    constant memory no matter how long the replay — flushing to disk
+    every ``flush_every`` events (and always on :meth:`finish`/close),
+    so a crashed or interrupted replay still leaves a readable prefix.
+    Composes like every other tracer: pass ``inner`` to tee the stream
+    (e.g. into a :class:`~repro.obs.stream.WindowedAggregator`).  The
+    file it produces is byte-identical to a ``write_jsonl`` dump of the
+    same events and reads back with :func:`read_jsonl`.
+    """
+
+    enabled = True
+
+    def __init__(self, path, *, inner=None, flush_every: int = 256):
+        if flush_every < 1:
+            from repro.errors import ParameterError
+
+            raise ParameterError(
+                f"flush_every must be >= 1, got {flush_every}"
+            )
+        self.path = path
+        self.inner = inner
+        self.flush_every = flush_every
+        self.events_written = 0
+        self._handle = open(path, "w")
+        self._closed = False
+
+    def emit(self, event: TraceEvent) -> None:
+        self._handle.write(_event_line(event) + "\n")
+        self.events_written += 1
+        if self.events_written % self.flush_every == 0:
+            self._handle.flush()
+        if self.inner is not None and self.inner.enabled:
+            self.inner.emit(event)
+
+    def finish(self) -> None:
+        """Flush and close the file (idempotent); propagates to inner."""
+        if not self._closed:
+            self._closed = True
+            self._handle.flush()
+            self._handle.close()
+        if self.inner is not None:
+            inner_finish = getattr(self.inner, "finish", None)
+            if inner_finish is not None:
+                inner_finish()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.finish()
 
 
 def read_jsonl(path) -> List[TraceEvent]:
@@ -148,6 +208,25 @@ def chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, object]:
                      if k not in ("text", "duration_s")},
         })
 
+    # SLO alerts (fire/resolve) as global instant markers on the
+    # requests track, so burn-rate incidents line up with the spans
+    # they explain.
+    for e in events:
+        if e.phase != "alert":
+            continue
+        state = e.attrs.get("state", "")
+        rule = e.attrs.get("rule", "")
+        trace_events.append({
+            "name": f"alert {state} {e.tenant} {rule}".strip(),
+            "cat": "alert",
+            "ph": "i",
+            "s": "g",
+            "ts": e.t_s * _US,
+            "pid": 1,
+            "tid": 0,
+            "args": {**e.attrs, "tenant": e.tenant},
+        })
+
     # Request lifecycle as async spans keyed by request id.
     for e in events:
         if e.request_id is None or e.phase == "profile":
@@ -192,15 +271,55 @@ def write_chrome_trace(events: Sequence[TraceEvent], path) -> None:
 # -- Prometheus text format --------------------------------------------------
 
 
+#: ``# HELP`` text for the serving stack's well-known series; anything
+#: not listed falls back to its dotted source name.
+METRIC_HELP: Dict[str, str] = {
+    "serve.requests": "Requests served, by kind.",
+    "serve.latency_ms": "End-to-end request latency in milliseconds.",
+    "serve.queue_s": "Seconds spent queued before dispatch.",
+    "serve.service_s": "Seconds of engine service time.",
+    "serve.energy_nj": "Energy per request in nanojoules.",
+    "serve.energy_total_nj": "Total replay energy in nanojoules.",
+    "serve.tenant_served": "Requests served, by tenant.",
+    "serve.tenant_dropped": "Requests dropped, by tenant and reason.",
+    "serve.tenant_latency_ms": "Per-tenant end-to-end latency in ms.",
+    "serve.tenant_energy_nj": "Per-tenant energy per request in nJ.",
+    "serve.deadline_offered": "Requests that carried an SLO deadline.",
+    "serve.deadline_met": "Deadline-carrying requests that met it.",
+    "serve.dropped": "Requests dropped, by reason.",
+    "serve.span_s": "Replay span from first arrival to last finish.",
+    "serve.utilization": "Engine-lane busy fraction over the span.",
+    "serve.throughput_rps": "Served requests per second of span.",
+    "sched.batches": "Batches dispatched, by parameter set.",
+    "sched.batch_occupancy": "Batch fill fraction at dispatch.",
+    "sched.padded_slots": "Batch slots dispatched empty.",
+    "sched.batch_slots": "Batch slots dispatched in total.",
+    "sched.lanes": "Engine lanes available to the scheduler.",
+    "sched.busy_s": "Total lane-busy seconds.",
+    "sched.queue_depth": "Waiting requests sampled over time.",
+}
+
+
 def _prom_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_escape_label(value: str) -> str:
+    """Label-value escaping per the text-format spec: ``\\``, ``"``, LF."""
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _prom_escape_help(text: str) -> str:
+    """HELP text escaping: only backslash and newline are special."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _prom_labels(labels, extra: Optional[Dict[str, str]] = None) -> str:
     pairs = list(labels) + sorted((extra or {}).items())
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_prom_escape_label(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -222,6 +341,8 @@ def format_prometheus(registry: MetricsRegistry) -> str:
         name = _prom_name(inst.name)
         if name not in typed:
             typed[name] = None
+            help_text = METRIC_HELP.get(inst.name, inst.name)
+            lines.append(f"# HELP {name} {_prom_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {inst.kind}")
         if isinstance(inst, Counter):
             lines.append(f"{name}{_prom_labels(inst.labels)} "

@@ -126,9 +126,20 @@ class Histogram:
         return self.sum / self.count if self.values else 0.0
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile over the raw observations."""
+        """Nearest-rank percentile over the raw observations.
+
+        NaN when nothing was observed — a zero-observation series (a
+        tenant whose every request was shed, a stage no request
+        reached) must render as "no data", not crash the report.
+        """
         from repro.serve.metrics import percentile
 
+        if not self.values:
+            if not 0 <= q <= 100:
+                raise ParameterError(
+                    f"percentile q must be in [0, 100], got {q}"
+                )
+            return float("nan")
         return percentile(self.values, q)
 
     def bucket_counts(self) -> List[Tuple[float, int]]:

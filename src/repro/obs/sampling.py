@@ -1,0 +1,305 @@
+"""Tail-based trace sampling: keep the interesting requests, always.
+
+A full :class:`~repro.obs.RecordingTracer` holds every event of every
+request — fine for a thousand-request golden, fatal for the
+million-request replays the ROADMAP is heading toward.  Uniform head
+sampling fixes the memory but throws away exactly the traces you
+debug from: the drops, the deadline misses, the requests that rode
+through an overload.  :class:`SamplingTracer` is the standard
+tail-based compromise — the *keep* decision is deferred until a
+request's disposition is known:
+
+- **head-sampled** requests (a deterministic hash of the request id
+  against ``rate``) are kept as the unbiased background population;
+- **dropped** requests are always kept;
+- **deadline-missed** requests are always kept;
+- **alert-overlapping** requests (in flight while an SLO burn-rate
+  alert from :mod:`repro.obs.slo` was active) are always kept;
+- the **slowest-percentile** requests (end-to-end latency above the
+  running ``100 - slowest_pct`` quantile) are always kept.
+
+Kept requests keep their *complete* span set — every lifecycle event,
+plus the batch-scoped events (``batch_open``/``dispatch``/lane span /
+``program``) of any batch that served a kept request.  Memory held is
+O(kept + in-flight), never O(all events): undecided requests and
+batches are buffered only while live, and the buffers drain as
+dispositions resolve (pinned by ``benchmarks/bench_obs_overhead.py``).
+
+Determinism: the hash sample, the running quantile threshold and the
+alert intervals are all pure functions of the (deterministic) event
+stream, so the kept set is replay-reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import insort
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParameterError
+from repro.obs.stream import QuantileSketch
+from repro.obs.tracer import TraceEvent
+
+#: Keep-reasons, in the priority order stats are attributed.
+KEEP_REASONS = ("drop", "deadline", "alert", "slow", "head")
+
+_HASH_SPACE = 1 << 32
+
+
+def _head_sampled(request_id: int, rate: float) -> bool:
+    """Deterministic per-request coin flip: hash(id) < rate."""
+    digest = zlib.crc32(str(request_id).encode("ascii"))
+    return digest < rate * _HASH_SPACE
+
+
+class _PendingRequest:
+    __slots__ = ("events", "arrive_s", "deadline_s", "finish_s", "batch_id",
+                 "dropped", "latency_s")
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[int, TraceEvent]] = []
+        self.arrive_s: Optional[float] = None
+        self.deadline_s: Optional[float] = None
+        self.finish_s: Optional[float] = None
+        self.batch_id: Optional[int] = None
+        self.dropped = False
+        self.latency_s: Optional[float] = None
+
+
+class _PendingBatch:
+    __slots__ = ("events", "size", "decided", "kept")
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[int, TraceEvent]] = []
+        self.size: Optional[int] = None
+        self.decided = 0
+        self.kept = False
+
+
+class SamplingTracer:
+    """Head-sample the boring traffic, keep every interesting trace.
+
+    Acts as a terminal sink (like ``RecordingTracer``): :attr:`events`
+    is the kept stream in emission order.  Compose it downstream of an
+    :class:`~repro.obs.slo.SLOTracer` to activate the alert-overlap
+    rule — alerts always pass through, and any request whose lifetime
+    intersects an active alert interval keeps its full span set.
+    """
+
+    enabled = True
+
+    def __init__(self, rate: float = 0.1, *, slowest_pct: float = 1.0):
+        if not 0.0 <= rate <= 1.0:
+            raise ParameterError(f"sampling rate must be in [0, 1], got {rate}")
+        if not 0.0 <= slowest_pct < 100.0:
+            raise ParameterError(
+                f"slowest_pct must be in [0, 100), got {slowest_pct}"
+            )
+        self.rate = rate
+        self.slowest_pct = slowest_pct
+        self._seq = 0
+        self._kept: List[Tuple[int, TraceEvent]] = []
+        self._requests: Dict[int, _PendingRequest] = {}
+        self._batches: Dict[int, _PendingBatch] = {}
+        #: Responded requests awaiting the clock to pass their finish
+        #: (so any alert fired up to that instant is known), sorted by
+        #: finish time: (finish_s, request_id).
+        self._deferred: List[Tuple[float, int]] = []
+        self._clock = float("-inf")
+        #: Closed and open alert intervals: (fired_s, resolved_s|inf).
+        self._alert_spans: List[Tuple[float, float]] = []
+        self._open_alerts: Dict[Tuple[str, str], int] = {}
+        self._latency = QuantileSketch()
+        self.kept_requests = 0
+        self.seen_requests = 0
+        self.kept_by_reason: Dict[str, int] = {r: 0 for r in KEEP_REASONS}
+        self.peak_pending = 0
+        self._finished = False
+
+    # -- public views ------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Kept events, in original emission order."""
+        return [e for _, e in sorted(self._kept, key=lambda kv: kv[0])]
+
+    @property
+    def pending(self) -> int:
+        """Undecided buffered entities (the transient memory term)."""
+        return len(self._requests) + len(self._batches) + len(self._deferred)
+
+    def by_phase(self, phase: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.phase == phase]
+
+    def request_ids(self) -> List[int]:
+        """Distinct kept request ids, in first-appearance order."""
+        seen: Dict[int, None] = {}
+        for e in self.events:
+            if e.request_id is not None:
+                seen.setdefault(e.request_id, None)
+        return list(seen)
+
+    # -- event intake ------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        seq = self._seq
+        self._seq += 1
+        phase = event.phase
+        if phase == "alert":
+            self._kept.append((seq, event))
+            self._track_alert(event)
+        elif event.request_id is not None and phase != "respond":
+            pending = self._requests.get(event.request_id)
+            if pending is None:
+                pending = self._requests[event.request_id] = _PendingRequest()
+            pending.events.append((seq, event))
+            if phase == "arrive":
+                pending.arrive_s = event.t_s
+                pending.deadline_s = event.attrs.get("deadline_s")
+            elif phase == "drop":
+                pending.dropped = True
+                self._decide(event.request_id, pending)
+        elif phase == "respond":
+            self._on_respond(seq, event)
+        elif event.batch_id is not None:
+            batch = self._batch(event.batch_id)
+            batch.events.append((seq, event))
+            if phase == "dispatch":
+                batch.size = int(event.attrs.get("size", 0))
+                self._maybe_close_batch(event.batch_id, batch)
+        else:
+            # Un-keyed aux events (profile pricing): rare, always kept.
+            self._kept.append((seq, event))
+        if event.phase in ("arrive", "admit", "drop", "enqueue",
+                           "batch_open", "dispatch"):
+            if event.t_s > self._clock:
+                self._clock = event.t_s
+                self._drain_deferred()
+        self.peak_pending = max(self.peak_pending, self.pending)
+
+    def finish(self) -> None:
+        """End of stream: decide everything still buffered (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        self._clock = float("inf")
+        self._drain_deferred()
+        # Anything still pending never reached a disposition (a request
+        # with no respond, a batch missing responds): keep it — an
+        # incomplete lifecycle is exactly a trace worth looking at.
+        for request_id in sorted(self._requests):
+            pending = self._requests[request_id]
+            pending.dropped = True
+            self._decide(request_id, pending)
+        for batch_id in sorted(self._batches):
+            batch = self._batches.pop(batch_id)
+            self._kept.extend(batch.events)
+
+    # -- internals ---------------------------------------------------------
+
+    def _batch(self, batch_id: int) -> _PendingBatch:
+        batch = self._batches.get(batch_id)
+        if batch is None:
+            batch = self._batches[batch_id] = _PendingBatch()
+        return batch
+
+    def _track_alert(self, event: TraceEvent) -> None:
+        key = (str(event.attrs.get("rule", "")), event.tenant)
+        state = event.attrs.get("state")
+        if state == "fire":
+            self._alert_spans.append((event.t_s, float("inf")))
+            self._open_alerts[key] = len(self._alert_spans) - 1
+        elif state == "resolve":
+            index = self._open_alerts.pop(key, None)
+            if index is not None:
+                fired, _ = self._alert_spans[index]
+                self._alert_spans[index] = (fired, event.t_s)
+
+    def _on_respond(self, seq: int, event: TraceEvent) -> None:
+        request_id = event.request_id
+        pending = self._requests.get(request_id)
+        if pending is None:
+            pending = self._requests[request_id] = _PendingRequest()
+        pending.events.append((seq, event))
+        pending.finish_s = event.t_s
+        pending.batch_id = event.batch_id
+        if pending.arrive_s is not None:
+            pending.latency_s = max(event.t_s - pending.arrive_s, 0.0)
+        # Defer the keep decision until the stream clock passes the
+        # finish instant — every alert fired by then is known.
+        insort(self._deferred, (event.t_s, request_id))
+
+    def _drain_deferred(self) -> None:
+        while self._deferred and self._deferred[0][0] <= self._clock:
+            _, request_id = self._deferred.pop(0)
+            pending = self._requests.get(request_id)
+            if pending is not None:
+                self._decide(request_id, pending)
+
+    def _overlaps_alert(self, pending: _PendingRequest) -> bool:
+        start = pending.arrive_s
+        end = pending.finish_s
+        if start is None or end is None:
+            return False
+        return any(
+            fired <= end and start < resolved
+            for fired, resolved in self._alert_spans
+        )
+
+    def _keep_reason(self, request_id: int,
+                     pending: _PendingRequest) -> Optional[str]:
+        if pending.dropped:
+            return "drop"
+        if (pending.deadline_s is not None and pending.finish_s is not None
+                and pending.finish_s > pending.deadline_s):
+            return "deadline"
+        if self._overlaps_alert(pending):
+            return "alert"
+        if pending.latency_s is not None and self._latency.count:
+            threshold = self._latency.quantile(100.0 - self.slowest_pct)
+            if pending.latency_s * 1e3 >= threshold:
+                return "slow"
+        if _head_sampled(request_id, self.rate):
+            return "head"
+        return None
+
+    def _decide(self, request_id: int, pending: _PendingRequest) -> None:
+        reason = self._keep_reason(request_id, pending)
+        # The threshold a request was judged against never includes its
+        # own latency, so the decision is order-independent per request.
+        if pending.latency_s is not None:
+            self._latency.observe(pending.latency_s * 1e3)
+        self.seen_requests += 1
+        if reason is not None:
+            self.kept_requests += 1
+            self.kept_by_reason[reason] += 1
+            self._kept.extend(pending.events)
+        del self._requests[request_id]
+        if pending.batch_id is not None:
+            batch = self._batches.get(pending.batch_id)
+            if batch is not None:
+                batch.decided += 1
+                batch.kept = batch.kept or reason is not None
+                self._maybe_close_batch(pending.batch_id, batch)
+
+    def _maybe_close_batch(self, batch_id: int, batch: _PendingBatch) -> None:
+        if batch.size is None or batch.decided < batch.size:
+            return
+        del self._batches[batch_id]
+        if batch.kept:
+            self._kept.extend(batch.events)
+
+
+def format_sampling_stats(tracer: SamplingTracer) -> str:
+    """One-paragraph keep/discard summary for reports and benches."""
+    reasons = ", ".join(
+        f"{name}={tracer.kept_by_reason[name]}" for name in KEEP_REASONS
+        if tracer.kept_by_reason[name]
+    )
+    fraction = (tracer.kept_requests / tracer.seen_requests
+                if tracer.seen_requests else 0.0)
+    return (
+        f"sampling: kept {tracer.kept_requests}/{tracer.seen_requests} "
+        f"requests ({fraction:.1%}) at head rate {tracer.rate:.1%} "
+        f"[{reasons or 'none'}]; peak pending {tracer.peak_pending}"
+    )

@@ -47,9 +47,10 @@ LIFECYCLE_PHASES = (
 )
 
 #: Non-lifecycle phases sharing the stream: ``profile`` (a backend
-#: priced a kernel) and ``program`` (per-instruction subarray detail
-#: bridged from :mod:`repro.sram.tracer`).
-AUX_PHASES = ("profile", "program")
+#: priced a kernel), ``program`` (per-instruction subarray detail
+#: bridged from :mod:`repro.sram.tracer`) and ``alert`` (an SLO
+#: burn-rate rule fired or resolved — see :mod:`repro.obs.slo`).
+AUX_PHASES = ("profile", "program", "alert")
 
 
 @dataclass(frozen=True)

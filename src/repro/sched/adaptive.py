@@ -92,6 +92,9 @@ class AdaptiveScheduler:
             id_factory=itertools.count().__next__,
         )
         self._now = 0.0
+        # Per-tenant queue pressure, maintained only under a live
+        # tracer (the untraced hot path never touches it).
+        self._tenant_waiting: Dict[str, int] = {}
         self.tracer = NULL_TRACER
 
     def bind_tracer(self, tracer) -> None:
@@ -135,14 +138,19 @@ class AdaptiveScheduler:
         self._lanes.ensure(request.params_name)
         full = self._batcher.add(request)
         if self.tracer.enabled:
+            waiting = self._tenant_waiting.get(request.tenant, 0) + 1
+            self._tenant_waiting[request.tenant] = waiting
             batch = full if full is not None \
                 else self._batcher.open_batch(request.batch_key)
             self.tracer.emit(TraceEvent(
                 phase="enqueue", t_s=now_s, request_id=request.request_id,
                 batch_id=None if batch is None else batch.batch_id,
                 kind=request.kind, tenant=request.tenant,
-                attrs={"window_s": self.window_s()},
+                attrs={"window_s": self.window_s(),
+                       "tenant_waiting": waiting},
             ))
+            if full is not None:
+                self._note_dispatched(full)
         if full is not None:
             return [full]
         # Early dispatch happens in poll(), never here: arrivals at one
@@ -198,11 +206,23 @@ class AdaptiveScheduler:
             for group in eligible[:max(0, spare)]:
                 out.append(self._batcher.pop(group))
                 changed = True
+        if self.tracer.enabled:
+            for batch in out:
+                self._note_dispatched(batch)
         return out
 
     def flush(self, now_s: float) -> List[PolyBatch]:
         self._now = now_s
-        return [self._batcher.pop(group) for group, _ in self._oldest_first()]
+        out = [self._batcher.pop(group) for group, _ in self._oldest_first()]
+        if self.tracer.enabled:
+            for batch in out:
+                self._note_dispatched(batch)
+        return out
+
+    def _note_dispatched(self, batch: PolyBatch) -> None:
+        for member in batch.requests:
+            self._tenant_waiting[member.tenant] = \
+                self._tenant_waiting.get(member.tenant, 1) - 1
 
     def _oldest_first(self) -> List[tuple]:
         return sorted(self._batcher.open_items(),

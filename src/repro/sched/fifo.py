@@ -45,6 +45,9 @@ class FifoScheduler:
         # Per-replay round-robin state (the pool's own counter would
         # leak phase between replays and break report determinism).
         self._rr: Dict[str, int] = {}
+        # Per-tenant queue pressure, maintained only under a live
+        # tracer (the untraced hot path never touches it).
+        self._tenant_waiting: Dict[str, int] = {}
         self.tracer = NULL_TRACER
 
     def bind_tracer(self, tracer) -> None:
@@ -60,14 +63,24 @@ class FifoScheduler:
     def enqueue(self, request: Request, now_s: float) -> List[PolyBatch]:
         full = self._batcher.add(request)
         if self.tracer.enabled:
+            waiting = self._tenant_waiting.get(request.tenant, 0) + 1
+            self._tenant_waiting[request.tenant] = waiting
             batch = full if full is not None \
                 else self._batcher.open_batch(request.batch_key)
             self.tracer.emit(TraceEvent(
                 phase="enqueue", t_s=now_s, request_id=request.request_id,
                 batch_id=None if batch is None else batch.batch_id,
                 kind=request.kind, tenant=request.tenant,
+                attrs={"tenant_waiting": waiting},
             ))
+            if full is not None:
+                self._note_dispatched(full)
         return [full] if full is not None else []
+
+    def _note_dispatched(self, batch: PolyBatch) -> None:
+        for member in batch.requests:
+            self._tenant_waiting[member.tenant] = \
+                self._tenant_waiting.get(member.tenant, 1) - 1
 
     def waiting(self) -> int:
         return len(self._batcher)
@@ -78,10 +91,18 @@ class FifoScheduler:
         return self._batcher.next_deadline_s()
 
     def poll(self, now_s: float) -> List[PolyBatch]:
-        return self._batcher.take_expired(now_s)
+        batches = self._batcher.take_expired(now_s)
+        if self.tracer.enabled:
+            for batch in batches:
+                self._note_dispatched(batch)
+        return batches
 
     def flush(self, now_s: float) -> List[PolyBatch]:
-        return self._batcher.drain()
+        batches = self._batcher.drain()
+        if self.tracer.enabled:
+            for batch in batches:
+                self._note_dispatched(batch)
+        return batches
 
     # -- placement ---------------------------------------------------------
 

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ParameterError
 from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.slo import Alert, format_alerts
 from repro.serve.request import Response
 
 
@@ -119,6 +120,9 @@ class ServeReport:
     by_tenant: List[TenantStats] = field(default_factory=list)
     queue_depth: List[Tuple[float, int]] = field(default_factory=list)
     scheduler: str = "fifo"
+    #: SLO burn-rate alerts fired during the replay (populated only
+    #: when an :class:`~repro.obs.slo.SLOTracer` watched the run).
+    alerts: List[Alert] = field(default_factory=list)
     #: The instruments every scalar above was computed from.  Excluded
     #: from equality: two replays are the same replay when their
     #: measured numbers agree, whichever registry they flowed through.
@@ -241,16 +245,22 @@ def _kind_view(registry: MetricsRegistry, kind: str,
     queue = registry.histogram("serve.queue_s", labels)
     service = registry.histogram("serve.service_s", labels)
     energy = registry.histogram("serve.energy_nj", labels)
+    def mean_of(histogram: Histogram, scale: float = 1.0) -> float:
+        # NaN, not a crash, for a zero-observation series.
+        if not histogram.count:
+            return float("nan")
+        return histogram.sum / histogram.count * scale
+
     return KindStats(
         kind=kind,
         count=lat.count,
-        mean_ms=lat.sum / lat.count,
+        mean_ms=mean_of(lat),
         p50_ms=lat.percentile(50),
         p95_ms=lat.percentile(95),
         p99_ms=lat.percentile(99),
-        mean_queue_ms=queue.sum / queue.count * 1e3,
-        mean_service_ms=service.sum / service.count * 1e3,
-        energy_per_request_nj=energy.sum / energy.count,
+        mean_queue_ms=mean_of(queue, 1e3),
+        mean_service_ms=mean_of(service, 1e3),
+        energy_per_request_nj=mean_of(energy),
     )
 
 
@@ -273,11 +283,14 @@ def _tenant_view(registry: MetricsRegistry, tenant: str) -> TenantStats:
         offered=served + dropped,
         served=served,
         dropped=dropped,
-        mean_ms=lat.sum / served if isinstance(lat, Histogram) else 0.0,
-        p99_ms=lat.percentile(99) if isinstance(lat, Histogram) else 0.0,
+        mean_ms=(lat.sum / served if isinstance(lat, Histogram) and served
+                 else float("nan")),
+        p99_ms=(lat.percentile(99) if isinstance(lat, Histogram)
+                else float("nan")),
         slo_attainment=(met / offered_deadlines if offered_deadlines else 1.0),
         energy_per_request_nj=(
-            energy.sum / served if isinstance(energy, Histogram) else 0.0
+            energy.sum / served
+            if isinstance(energy, Histogram) and served else float("nan")
         ),
     )
 
@@ -287,6 +300,7 @@ def aggregate(responses: List[Response], batches: List[BatchRecord], *,
               drops: Sequence[DropRecord] = (),
               queue_depth: Sequence[Tuple[float, int]] = (),
               scheduler: str = "fifo",
+              alerts: Sequence[Alert] = (),
               registry: Optional[MetricsRegistry] = None) -> ServeReport:
     """Roll a replay's raw records up into a :class:`ServeReport`.
 
@@ -351,8 +365,16 @@ def aggregate(responses: List[Response], batches: List[BatchRecord], *,
         by_tenant=by_tenant,
         queue_depth=list(registry.gauge("sched.queue_depth").samples),
         scheduler=scheduler,
+        alerts=list(alerts),
         registry=registry,
     )
+
+
+def _fmt_stat(value: float, width: int, digits: int = 3) -> str:
+    """One numeric table cell; a dash for NaN (zero-observation series)."""
+    if value != value:
+        return f"{'-':>{width}}"
+    return f"{value:>{width}.{digits}f}"
 
 
 def format_serve_report(report: ServeReport) -> str:
@@ -365,9 +387,11 @@ def format_serve_report(report: ServeReport) -> str:
     lines = [header, "-" * len(header)]
     for k in report.by_kind:
         lines.append(
-            f"{k.kind:<10} {k.count:>6} {k.mean_ms:>9.3f} {k.p50_ms:>8.3f} "
-            f"{k.p95_ms:>8.3f} {k.p99_ms:>8.3f} {k.mean_queue_ms:>10.3f} "
-            f"{k.mean_service_ms:>8.3f} {k.energy_per_request_nj:>10.2f}"
+            f"{k.kind:<10} {k.count:>6} {_fmt_stat(k.mean_ms, 9)} "
+            f"{_fmt_stat(k.p50_ms, 8)} {_fmt_stat(k.p95_ms, 8)} "
+            f"{_fmt_stat(k.p99_ms, 8)} {_fmt_stat(k.mean_queue_ms, 10)} "
+            f"{_fmt_stat(k.mean_service_ms, 8)} "
+            f"{_fmt_stat(k.energy_per_request_nj, 10, 2)}"
         )
     lines.append("")
     lines.append(
@@ -400,9 +424,17 @@ def format_serve_report(report: ServeReport) -> str:
         for t in report.by_tenant:
             lines.append(
                 f"{t.tenant:<12} {t.offered:>7} {t.served:>6} {t.dropped:>7} "
-                f"{t.mean_ms:>9.3f} {t.p99_ms:>8.3f} {t.slo_attainment:>7.1%} "
-                f"{t.energy_per_request_nj:>10.2f}"
+                f"{_fmt_stat(t.mean_ms, 9)} {_fmt_stat(t.p99_ms, 8)} "
+                f"{t.slo_attainment:>7.1%} "
+                f"{_fmt_stat(t.energy_per_request_nj, 10, 2)}"
             )
+    if report.alerts:
+        active = sum(1 for a in report.alerts if a.active)
+        lines.append("")
+        lines.append(
+            f"SLO alerts: {len(report.alerts)} fired, {active} still active"
+        )
+        lines.append(format_alerts(report.alerts))
     return "\n".join(lines)
 
 
@@ -411,6 +443,8 @@ def _jsonable(value):
         return [_jsonable(v) for v in value]
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, float) and value != value:
+        return None  # NaN (zero-observation stat) has no strict-JSON spelling
     return value
 
 
@@ -461,6 +495,10 @@ def serialize_report(report: ServeReport) -> str:
             {**_jsonable(vars(b)), "key": _key_summary(b.key)}
             for b in report.batches
         ],
+        # "alerts" appears only when an SLO policy watched the run, so
+        # policy-free reports (the pre-existing goldens) are unchanged.
+        **({"alerts": [_jsonable(vars(a)) for a in report.alerts]}
+           if report.alerts else {}),
         "responses": [
             {
                 "request_id": r.request.request_id,

@@ -236,6 +236,15 @@ class ServingSimulator:
                 record_depth(end_s)
 
         lanes = scheduler.lane_report()
+        # Streaming tracers (WindowedAggregator / SLOTracer / Sampling)
+        # buffer state until end of stream: flush them so trailing
+        # windows finalize and deferred sampling decisions land, then
+        # surface any burn-rate alerts into the report.  Duck-typed so
+        # plain tracers (Null/Recording) are untouched.
+        tracer_finish = getattr(tracer, "finish", None)
+        if tracer_finish is not None:
+            tracer_finish()
+        alerts = list(getattr(tracer, "alerts", ()))
         return aggregate(
             responses,
             batches,
@@ -244,5 +253,6 @@ class ServingSimulator:
             drops=drops,
             queue_depth=depth_gauge.samples,
             scheduler=getattr(scheduler, "name", str(self.scheduler)),
+            alerts=alerts,
             registry=registry,
         )

@@ -1,0 +1,195 @@
+"""Benchmark regression diffing (the ``bench compare`` CI gate)."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.benchdiff import (
+    BenchComparison,
+    MetricDelta,
+    compare_bench,
+    format_comparison,
+    higher_is_better,
+    load_bench,
+)
+from repro.errors import ParameterError
+
+
+def artifact(name, metrics, *, schema=1):
+    return {"schema": schema, "name": name, "scenario": "test",
+            "git_rev": "abc", "metrics": metrics}
+
+
+def write(path, payload):
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestDirectionHeuristics:
+    @pytest.mark.parametrize("metric", [
+        "throughput_rps", "slo_attainment", "deadline_met", "kept_requests",
+        "total_events", "speedup_vs_cpu", "coverage",
+    ])
+    def test_higher_is_better(self, metric):
+        assert higher_is_better(metric)
+
+    @pytest.mark.parametrize("metric", [
+        "p99_ms", "overhead_frac", "energy_nj", "peak_pending", "drop_rate",
+    ])
+    def test_lower_is_better(self, metric):
+        assert not higher_is_better(metric)
+
+
+class TestLoadBench:
+    def test_single_file(self, tmp_path):
+        path = write(tmp_path / "BENCH_a.json", artifact("a", {"x": 1}))
+        loaded = load_bench(path)
+        assert loaded["a"]["metrics"] == {"x": 1}
+
+    def test_directory_globs_artifacts(self, tmp_path):
+        write(tmp_path / "BENCH_a.json", artifact("a", {"x": 1}))
+        write(tmp_path / "BENCH_b.json", artifact("b", {"y": 2}))
+        (tmp_path / "notes.txt").write_text("ignored")
+        assert sorted(load_bench(tmp_path)) == ["a", "b"]
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ParameterError, match="no BENCH"):
+            load_bench(tmp_path)
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(ParameterError, match="does not exist"):
+            load_bench(tmp_path / "nope")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{")
+        with pytest.raises(ParameterError, match="not valid JSON"):
+            load_bench(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = write(tmp_path / "BENCH_x.json",
+                     artifact("x", {"a": 1}, schema=2))
+        with pytest.raises(ParameterError, match="schema-1"):
+            load_bench(path)
+
+
+class TestCompare:
+    def pair(self, tmp_path, base_metrics, fresh_metrics, **kwargs):
+        base = write(tmp_path / "base.json", artifact("b", base_metrics))
+        fresh = write(tmp_path / "fresh.json", artifact("b", fresh_metrics))
+        return compare_bench(base, fresh, **kwargs)
+
+    def verdict_of(self, comparison, metric):
+        (delta,) = [d for d in comparison.deltas if d.metric == metric]
+        return delta.verdict
+
+    def test_latency_up_regresses(self, tmp_path):
+        cmp = self.pair(tmp_path, {"p99_ms": 1.0}, {"p99_ms": 1.5})
+        assert self.verdict_of(cmp, "p99_ms") == "regressed"
+        assert not cmp.ok
+
+    def test_latency_down_improves(self, tmp_path):
+        cmp = self.pair(tmp_path, {"p99_ms": 1.0}, {"p99_ms": 0.5})
+        assert self.verdict_of(cmp, "p99_ms") == "improved"
+        assert cmp.ok
+
+    def test_throughput_down_regresses(self, tmp_path):
+        cmp = self.pair(tmp_path, {"throughput_rps": 100.0},
+                        {"throughput_rps": 50.0})
+        assert self.verdict_of(cmp, "throughput_rps") == "regressed"
+
+    def test_throughput_up_improves(self, tmp_path):
+        cmp = self.pair(tmp_path, {"throughput_rps": 100.0},
+                        {"throughput_rps": 200.0})
+        assert self.verdict_of(cmp, "throughput_rps") == "improved"
+
+    def test_within_tolerance_is_ok(self, tmp_path):
+        cmp = self.pair(tmp_path, {"p99_ms": 1.0}, {"p99_ms": 1.04},
+                        tolerance=0.05)
+        assert self.verdict_of(cmp, "p99_ms") == "ok"
+        # Exactly at the boundary still passes (strict >); values
+        # chosen float-exact so the ratio is precisely the tolerance.
+        cmp = self.pair(tmp_path, {"p99_ms": 8.0}, {"p99_ms": 8.5},
+                        tolerance=0.0625)
+        assert self.verdict_of(cmp, "p99_ms") == "ok"
+
+    def test_ignored_metric_never_fails(self, tmp_path):
+        cmp = self.pair(tmp_path, {"wall_s": 1.0}, {"wall_s": 99.0},
+                        ignore=("wall_s",))
+        assert self.verdict_of(cmp, "wall_s") == "ignored"
+        assert cmp.ok
+
+    def test_new_and_missing_never_fail(self, tmp_path):
+        cmp = self.pair(tmp_path, {"old_ms": 1.0}, {"fresh_ms": 2.0})
+        assert self.verdict_of(cmp, "old_ms") == "missing"
+        assert self.verdict_of(cmp, "fresh_ms") == "new"
+        assert cmp.ok
+
+    def test_bench_only_in_fresh_never_fails(self, tmp_path):
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        base_dir.mkdir(), fresh_dir.mkdir()
+        write(base_dir / "BENCH_a.json", artifact("a", {"p99_ms": 1.0}))
+        write(fresh_dir / "BENCH_a.json", artifact("a", {"p99_ms": 1.0}))
+        write(fresh_dir / "BENCH_b.json", artifact("b", {"p99_ms": 9.0}))
+        cmp = compare_bench(base_dir, fresh_dir)
+        assert cmp.ok
+        by_bench = {d.bench: d.verdict for d in cmp.deltas}
+        assert by_bench == {"a": "ok", "b": "new"}
+
+    def test_zero_baseline(self, tmp_path):
+        cmp = self.pair(tmp_path, {"drops": 0.0, "errs_ms": 0.0},
+                        {"drops": 0.0, "errs_ms": 3.0})
+        assert self.verdict_of(cmp, "drops") == "ok"
+        assert self.verdict_of(cmp, "errs_ms") == "regressed"
+
+    def test_negative_tolerance_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            self.pair(tmp_path, {"a": 1}, {"a": 1}, tolerance=-0.1)
+
+
+class TestMetricDelta:
+    def test_delta_frac(self):
+        d = MetricDelta(bench="b", metric="m", baseline=2.0, fresh=3.0,
+                        verdict="ok")
+        assert d.delta_frac == pytest.approx(0.5)
+
+    def test_delta_frac_nan_when_one_side_missing(self):
+        d = MetricDelta(bench="b", metric="m", baseline=None, fresh=3.0,
+                        verdict="new")
+        assert math.isnan(d.delta_frac)
+
+    def test_delta_frac_inf_from_zero(self):
+        d = MetricDelta(bench="b", metric="m", baseline=0.0, fresh=3.0,
+                        verdict="regressed")
+        assert math.isinf(d.delta_frac)
+
+
+class TestFormatting:
+    def comparison(self):
+        return BenchComparison(deltas=(
+            MetricDelta(bench="obs", metric="p99_ms", baseline=1.0,
+                        fresh=2.0, verdict="regressed"),
+            MetricDelta(bench="obs", metric="served", baseline=10.0,
+                        fresh=10.0, verdict="ok"),
+            MetricDelta(bench="obs", metric="wall_s", baseline=1.0,
+                        fresh=9.0, verdict="ignored"),
+        ))
+
+    def test_quiet_hides_ok_rows(self):
+        text = format_comparison(self.comparison())
+        assert "REGRESSED" in text
+        assert "served" not in text
+        assert "3 metric(s) compared" in text
+
+    def test_verbose_shows_everything(self):
+        text = format_comparison(self.comparison(), verbose=True)
+        assert "served" in text and "wall_s" in text
+
+    def test_all_quiet_message(self):
+        cmp = BenchComparison(deltas=(
+            MetricDelta(bench="b", metric="m", baseline=1.0, fresh=1.0,
+                        verdict="ok"),
+        ))
+        assert "within tolerance" in format_comparison(cmp)

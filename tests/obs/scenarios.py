@@ -14,6 +14,7 @@ and review the golden diff like any other code change.
 import pathlib
 
 from repro.ntt.params import STANDARD_PARAMS, NTTParams
+from repro.obs import BurnRateRule, SLOPolicy, SLOTracer
 from repro.serve import (
     BatchPolicy,
     EnginePool,
@@ -79,11 +80,50 @@ def mixed_slo_replay(tracer=None):
     return sim.replay(trace, tracer=tracer)
 
 
+#: The policy the overload scenario is judged under: 90% deadline
+#: attainment, one fast page rule (5 ms short / 20 ms long, 2x burn).
+OVERLOAD_POLICY = SLOPolicy(
+    objective=0.9,
+    rules=(BurnRateRule(short_s=0.005, long_s=0.02, threshold=2.0,
+                        severity="page"),),
+)
+
+
+def overload_trace():
+    """A 12 ms overload burst, then thinned-to-a-fifth recovery traffic."""
+    trace = poisson_trace("mixed-slo", 25000.0, 0.03, seed=11)
+    return [r for r in trace if r.arrival_s < 0.012 or r.request_id % 5 == 0]
+
+
+def overload_replay(tracer=None):
+    """Overload then recovery on one engine under :data:`OVERLOAD_POLICY`.
+
+    The burn-rate alerts must deterministically fire during the burst
+    and resolve during the recovery — the golden pins the full alert
+    history (tenants, fire/resolve times, burn rates).  The SLOTracer
+    wraps whatever tracer the caller passes, so the untraced and traced
+    parity paths both run the identical alert evaluation.
+    """
+    sim = ServingSimulator(
+        EnginePool(PoolConfig(size=1)), BatchPolicy(max_wait_s=2e-3),
+        scheduler="slo",
+        scheduler_options=dict(queue_limit=16,
+                               tenant_weights={"handshake": 2.0}),
+    )
+    return sim.replay(overload_trace(),
+                      tracer=SLOTracer(OVERLOAD_POLICY, inner=tracer))
+
+
 SCENARIO_BUILDERS = {
     "tiny": tiny_replay,
     "kyber": kyber_replay,
     "mixed-slo": mixed_slo_replay,
+    "overload": overload_replay,
 }
+
+#: Scenarios whose scheduler draws lanes from a shared global pool
+#: (the conformance checker relaxes per-lane exclusivity for these).
+SHARED_LANE_SCENARIOS = frozenset({"mixed-slo", "overload"})
 
 
 def golden_path(name: str) -> pathlib.Path:
@@ -111,7 +151,7 @@ def main() -> None:
         # violates the serving contract must neither be written nor
         # silently reported as matching.
         report, findings = checked_replay(
-            build, shared_lanes=name == "mixed-slo")
+            build, shared_lanes=name in SHARED_LANE_SCENARIOS)
         if has_errors(findings):
             print(f"{name}: REFUSED — the fresh trace violates the "
                   f"serving contract:")

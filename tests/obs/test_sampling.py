@@ -1,0 +1,263 @@
+"""Tail-based sampling: keep reasons, determinism, span completeness."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import (
+    RecordingTracer,
+    SamplingTracer,
+    TraceEvent,
+    format_sampling_stats,
+)
+from repro.obs.sampling import KEEP_REASONS, _head_sampled
+
+
+def lifecycle(request_id, *, arrive_s=0.0, respond_s=1e-3, tenant="t",
+              deadline_s=None, batch_id=None, dropped=False):
+    """A request's own span set (no batch-scoped events)."""
+    attrs = {} if deadline_s is None else {"deadline_s": deadline_s}
+    events = [
+        TraceEvent(phase="arrive", t_s=arrive_s, request_id=request_id,
+                   tenant=tenant, attrs=attrs),
+    ]
+    if dropped:
+        events.append(TraceEvent(phase="drop", t_s=arrive_s,
+                                 request_id=request_id, tenant=tenant,
+                                 attrs={"reason": "queue_full"}))
+        return events
+    events.append(TraceEvent(phase="enqueue", t_s=arrive_s,
+                             request_id=request_id, tenant=tenant))
+    events.append(TraceEvent(phase="respond", t_s=respond_s,
+                             request_id=request_id, batch_id=batch_id,
+                             tenant=tenant))
+    return events
+
+
+def tick(tracer, t_s):
+    """Advance the sampler's clock past deferred decisions."""
+    tracer.emit(TraceEvent(phase="arrive", t_s=t_s, request_id=999_999))
+
+
+class TestParameters:
+    @pytest.mark.parametrize("kwargs", [
+        dict(rate=-0.1), dict(rate=1.1),
+        dict(slowest_pct=-1.0), dict(slowest_pct=100.0),
+    ])
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            SamplingTracer(**kwargs)
+
+    def test_head_sampling_edges(self):
+        # rate 1.0 keeps every id, rate 0.0 none — and the hash is a
+        # pure function of the id (replay determinism).
+        assert all(_head_sampled(i, 1.0) for i in range(50))
+        assert not any(_head_sampled(i, 0.0) for i in range(50))
+        assert [_head_sampled(i, 0.3) for i in range(50)] == \
+            [_head_sampled(i, 0.3) for i in range(50)]
+
+
+class TestKeepReasons:
+    def test_dropped_always_kept(self):
+        tracer = SamplingTracer(rate=0.0)
+        for event in lifecycle(7, dropped=True):
+            tracer.emit(event)
+        tracer.finish()
+        assert tracer.request_ids() == [7]
+        assert tracer.kept_by_reason["drop"] == 1
+
+    def test_deadline_miss_always_kept(self):
+        tracer = SamplingTracer(rate=0.0, slowest_pct=0.0)
+        # Request 1 misses its 0.5 ms deadline; request 2 meets it
+        # (and stays below request 1's latency, so the slowest-percent
+        # rule cannot keep it either).
+        for event in lifecycle(1, deadline_s=5e-4, respond_s=1e-3):
+            tracer.emit(event)
+        for event in lifecycle(2, arrive_s=1e-5, deadline_s=5e-2,
+                               respond_s=5e-4):
+            tracer.emit(event)
+        tick(tracer, 0.01)
+        tracer.finish()
+        kept = tracer.request_ids()
+        assert 1 in kept and 2 not in kept
+        assert tracer.kept_by_reason["deadline"] == 1
+        assert tracer.seen_requests == 3  # the two + the tick request
+
+    def test_alert_overlap_kept(self):
+        tracer = SamplingTracer(rate=0.0, slowest_pct=0.0)
+        # Request 1 finishes before the alert fires, request 2 is in
+        # flight during it, request 3 arrives after it resolves.
+        for event in lifecycle(1, arrive_s=0.000, respond_s=0.001):
+            tracer.emit(event)
+        tick(tracer, 0.002)
+        tracer.emit(TraceEvent(phase="alert", t_s=0.005, tenant="t",
+                               attrs={"state": "fire", "rule": "r"}))
+        for event in lifecycle(2, arrive_s=0.004, respond_s=0.006):
+            tracer.emit(event)
+        tracer.emit(TraceEvent(phase="alert", t_s=0.008, tenant="t",
+                               attrs={"state": "resolve", "rule": "r"}))
+        for event in lifecycle(3, arrive_s=0.009, respond_s=0.010):
+            tracer.emit(event)
+        tracer.finish()
+        kept = tracer.request_ids()
+        assert 2 in kept and 1 not in kept and 3 not in kept
+        assert tracer.kept_by_reason["alert"] == 1
+        # The alert events themselves always pass through.
+        assert len(tracer.by_phase("alert")) == 2
+
+    def test_slowest_percentile_kept(self):
+        tracer = SamplingTracer(rate=0.0, slowest_pct=5.0)
+        # 40 requests at 1 ms, then one at 10 ms: the outlier sits far
+        # above the running 95th percentile when it is decided.
+        for i in range(40):
+            t = i * 1e-3
+            for event in lifecycle(i, arrive_s=t, respond_s=t + 1e-3):
+                tracer.emit(event)
+        for event in lifecycle(100, arrive_s=0.050, respond_s=0.060):
+            tracer.emit(event)
+        tick(tracer, 0.1)
+        tracer.finish()
+        assert 100 in tracer.request_ids()
+        assert tracer.kept_by_reason["slow"] >= 1
+
+    def test_head_sampling_is_unbiased_background(self):
+        tracer = SamplingTracer(rate=0.2, slowest_pct=0.0)
+        # Strictly decreasing latencies: after the first decision the
+        # running maximum sits above every later request, so only the
+        # head hash can keep anything.
+        for i in range(200):
+            t = i * 1e-4
+            for event in lifecycle(i, arrive_s=t,
+                                   respond_s=t + (200 - i) * 1e-7):
+                tracer.emit(event)
+        tick(tracer, 1.0)
+        tracer.finish()
+        expected = [i for i in range(200) if _head_sampled(i, 0.2)]
+        # The clock-advancing tick request is kept at finish() as an
+        # incomplete lifecycle; everything else is pure head sampling.
+        assert [r for r in tracer.request_ids() if r != 999_999] == expected
+        assert tracer.kept_by_reason["head"] == len(expected)
+        assert 0.05 < len(expected) / 200 < 0.5
+
+    def test_reason_priority_drop_wins(self):
+        # A dropped request with a deadline counts under "drop", the
+        # highest-priority reason.
+        tracer = SamplingTracer(rate=1.0)
+        tracer.emit(TraceEvent(phase="arrive", t_s=0.0, request_id=0,
+                               attrs={"deadline_s": 1e-3}))
+        tracer.emit(TraceEvent(phase="drop", t_s=0.0, request_id=0))
+        tracer.finish()
+        assert tracer.kept_by_reason["drop"] == 1
+        assert tracer.kept_by_reason["deadline"] == 0
+        assert list(tracer.kept_by_reason) == list(KEEP_REASONS)
+
+
+class TestSpanCompleteness:
+    def test_kept_request_keeps_every_event(self):
+        tracer = SamplingTracer(rate=0.0)
+        events = lifecycle(5, dropped=True)
+        for event in events:
+            tracer.emit(event)
+        tracer.finish()
+        assert tracer.events == events  # order preserved, nothing lost
+
+    def test_batch_spans_follow_kept_members(self):
+        def batch_events(batch_id, size, t):
+            return [
+                TraceEvent(phase="batch_open", t_s=t, batch_id=batch_id),
+                TraceEvent(phase="dispatch", t_s=t + 1e-4,
+                           batch_id=batch_id, attrs={"size": size}),
+                TraceEvent(phase="lane_start", t_s=t + 1e-4, lane=0,
+                           batch_id=batch_id),
+                TraceEvent(phase="lane_finish", t_s=t + 9e-4, lane=0,
+                           batch_id=batch_id),
+            ]
+
+        tracer = SamplingTracer(rate=0.0, slowest_pct=0.0)
+        # Batch 1 serves a deadline-missing request (kept); batch 2
+        # serves only boring traffic (discarded with its members).
+        for event in (
+            lifecycle(1, arrive_s=0.0, respond_s=2e-3, deadline_s=1e-3,
+                      batch_id=1)[:-1]
+            + lifecycle(2, arrive_s=0.0, respond_s=2e-3, batch_id=1)[:-1]
+            + batch_events(1, 2, 1e-4)
+            + [TraceEvent(phase="respond", t_s=2e-3, request_id=1,
+                          batch_id=1),
+               TraceEvent(phase="respond", t_s=2e-3, request_id=2,
+                          batch_id=1)]
+            + lifecycle(3, arrive_s=0.003, respond_s=4e-3, batch_id=2)[:-1]
+            + batch_events(2, 1, 3.1e-3)
+            + [TraceEvent(phase="respond", t_s=4e-3, request_id=3,
+                          batch_id=2)]
+        ):
+            tracer.emit(event)
+        tick(tracer, 0.01)
+        tracer.finish()
+        batch_ids = {e.batch_id for e in tracer.events
+                     if e.phase in ("batch_open", "dispatch",
+                                    "lane_start", "lane_finish")}
+        assert batch_ids == {1}
+        # The kept batch keeps all four batch-scoped events.
+        assert sum(1 for e in tracer.events if e.batch_id == 1
+                   and e.phase != "respond") == 4
+        assert 3 not in tracer.request_ids()
+
+    def test_finish_keeps_incomplete_lifecycles(self):
+        tracer = SamplingTracer(rate=0.0)
+        tracer.emit(TraceEvent(phase="arrive", t_s=0.0, request_id=42))
+        tracer.emit(TraceEvent(phase="enqueue", t_s=0.0, request_id=42))
+        # No respond ever arrives: finish() must keep the orphan.
+        tracer.finish()
+        assert tracer.request_ids() == [42]
+        assert tracer.pending == 0
+
+    def test_finish_idempotent(self):
+        tracer = SamplingTracer(rate=0.0)
+        for event in lifecycle(1, dropped=True):
+            tracer.emit(event)
+        tracer.finish()
+        before = tracer.events
+        tracer.finish()
+        assert tracer.events == before
+
+
+class TestBoundedMemory:
+    def test_pending_drains_as_decisions_resolve(self):
+        tracer = SamplingTracer(rate=0.0, slowest_pct=0.0)
+        for i in range(50):
+            t = i * 1e-3
+            for event in lifecycle(i, arrive_s=t, respond_s=t + 5e-4):
+                tracer.emit(event)
+        # Each request's decision resolves as the next arrival moves
+        # the clock past its finish, so the buffer never grows with
+        # the stream.
+        assert tracer.peak_pending <= 4
+        tracer.finish()
+        assert tracer.pending == 0
+
+    def test_rate_one_keeps_everything(self):
+        tracer = SamplingTracer(rate=1.0)
+        full = RecordingTracer()
+        for i in range(20):
+            t = i * 1e-3
+            for event in lifecycle(i, arrive_s=t, respond_s=t + 5e-4):
+                full.emit(event)
+                tracer.emit(event)
+        tracer.finish()
+        assert tracer.events == full.events
+        assert tracer.kept_requests == tracer.seen_requests == 20
+
+
+class TestStatsFormatting:
+    def test_format_sampling_stats(self):
+        tracer = SamplingTracer(rate=0.0)
+        for event in lifecycle(1, dropped=True):
+            tracer.emit(event)
+        tracer.finish()
+        text = format_sampling_stats(tracer)
+        assert "kept 1/1" in text
+        assert "drop=1" in text
+        assert "peak pending" in text
+
+    def test_format_empty(self):
+        text = format_sampling_stats(SamplingTracer())
+        assert "kept 0/0" in text and "[none]" in text

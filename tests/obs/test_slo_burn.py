@@ -1,0 +1,257 @@
+"""SLO policies and burn-rate alerting on the window stream."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import (
+    Alert,
+    BurnRateRule,
+    RecordingTracer,
+    SLOPolicy,
+    SLOTracer,
+    TraceEvent,
+    format_alerts,
+)
+from scenarios import OVERLOAD_POLICY, overload_replay
+
+
+class TestBurnRateRule:
+    def test_name(self):
+        rule = BurnRateRule(short_s=0.01, long_s=0.05, threshold=10.0)
+        assert rule.name == "10ms/50ms x10"
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(short_s=0.0, long_s=0.05, threshold=10.0),
+        dict(short_s=0.01, long_s=0.005, threshold=10.0),   # long < short
+        dict(short_s=0.01, long_s=0.025, threshold=10.0),   # not a multiple
+        dict(short_s=0.01, long_s=0.05, threshold=0.0),
+        dict(short_s=0.01, long_s=0.05, threshold=10.0, severity="sms"),
+    ])
+    def test_bad_rule_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            BurnRateRule(**kwargs)
+
+
+class TestSLOPolicy:
+    def test_budget(self):
+        assert SLOPolicy(objective=0.9).budget == pytest.approx(0.1)
+
+    def test_tenant_filter(self):
+        policy = SLOPolicy(tenants=("a",))
+        assert policy.watches("a") and not policy.watches("b")
+        assert SLOPolicy().watches("anyone")
+
+    @pytest.mark.parametrize("objective", [-0.1, 1.0, 1.5])
+    def test_bad_objective_rejected(self, objective):
+        with pytest.raises(ParameterError):
+            SLOPolicy(objective=objective)
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(ParameterError):
+            SLOPolicy(rules=())
+
+    def test_from_mapping_full(self):
+        policy = SLOPolicy.from_mapping({
+            "objective": 0.9,
+            "tenants": ["handshake"],
+            "rules": [{"short_s": 0.005, "long_s": 0.02, "threshold": 2}],
+        })
+        assert policy.objective == 0.9
+        assert policy.tenants == ("handshake",)
+        (rule,) = policy.rules
+        assert rule.name == "5ms/20ms x2" and rule.severity == "page"
+
+    def test_from_mapping_defaults(self):
+        policy = SLOPolicy.from_mapping({})
+        assert policy.objective == 0.95
+        assert len(policy.rules) == 2  # DEFAULT_RULES
+
+    @pytest.mark.parametrize("data", [
+        [],                                        # not an object
+        {"objectiv": 0.9},                         # unknown key
+        {"rules": "x"},                            # rules not a list
+        {"rules": ["x"]},                          # rule not an object
+        {"rules": [{"short_s": 0.01, "long_s": 0.05, "threshold": 1,
+                    "window": 3}]},                # unknown rule key
+    ])
+    def test_bad_mapping_rejected(self, data):
+        with pytest.raises(ParameterError):
+            SLOPolicy.from_mapping(data)
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps({"objective": 0.9, "rules": [
+            {"short_s": 0.005, "long_s": 0.02, "threshold": 2.0},
+        ]}))
+        policy = SLOPolicy.from_file(path)
+        assert policy.objective == 0.9
+
+    def test_from_file_missing(self, tmp_path):
+        with pytest.raises(ParameterError, match="cannot read"):
+            SLOPolicy.from_file(tmp_path / "nope.json")
+
+    def test_from_file_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{")
+        with pytest.raises(ParameterError, match="invalid SLO policy JSON"):
+            SLOPolicy.from_file(path)
+
+
+def _lifecycle(request_id, *, arrive_s, respond_s, tenant, deadline_s):
+    return [
+        TraceEvent(phase="arrive", t_s=arrive_s, request_id=request_id,
+                   tenant=tenant, attrs={"deadline_s": deadline_s}),
+        TraceEvent(phase="respond", t_s=respond_s, request_id=request_id,
+                   tenant=tenant),
+    ]
+
+
+def _synthetic_overload(tracer, *, misses_per_ms=4, miss_until_s=0.03,
+                        total_s=0.06):
+    """Deadline traffic that misses everything, then meets everything."""
+    rid = 0
+    t = 0.0
+    while t < total_s:
+        for _ in range(misses_per_ms):
+            missed = t < miss_until_s
+            deadline = t + (1e-4 if missed else 1.0)
+            for event in _lifecycle(rid, arrive_s=t, respond_s=t + 2e-4,
+                                    tenant="load", deadline_s=deadline):
+                tracer.emit(event)
+            rid += 1
+        t += 1e-3
+    tracer.finish()
+
+
+RULE = BurnRateRule(short_s=0.005, long_s=0.02, threshold=2.0)
+
+
+class TestSLOTracer:
+    def test_fire_needs_both_windows(self):
+        # A single bad short window inside a healthy long window must
+        # not page: after 20 ms of clean traffic, 2 ms of full misses
+        # burns the 5 ms window at 4x but the 20 ms window only at 1x.
+        tracer = SLOTracer(SLOPolicy(objective=0.9, rules=(RULE,)))
+        rid = 0
+        for step in range(40):
+            t = step * 1e-3
+            missed = step in (23, 24)
+            deadline = t + (1e-4 if missed else 1.0)
+            for event in _lifecycle(rid, arrive_s=t, respond_s=t + 2e-4,
+                                    tenant="x", deadline_s=deadline):
+                tracer.emit(event)
+            rid += 1
+        tracer.finish()
+        assert tracer.alerts == ()
+
+    def test_fire_and_resolve(self):
+        tracer = SLOTracer(SLOPolicy(objective=0.9, rules=(RULE,)))
+        _synthetic_overload(tracer)
+        (alert,) = tracer.alerts
+        assert alert.tenant == "load"
+        assert alert.rule == "5ms/20ms x2"
+        assert alert.severity == "page"
+        # 100% miss rate against a 10% budget burns at 10x.
+        assert alert.burn_short == pytest.approx(10.0)
+        assert alert.burn_long == pytest.approx(10.0)
+        # The long window slides on the short stride, so the first
+        # evaluation lands at 5 ms (the long window still partially
+        # covered) — that is when a from-the-start overload pages.
+        assert alert.fired_s == pytest.approx(0.005)
+        # Resolves one short stride after the misses stop at 30 ms.
+        assert 0.03 < alert.resolved_s <= 0.04
+        assert not alert.active
+        assert alert.active_at(0.025)
+        assert not alert.active_at(0.004) and not alert.active_at(0.05)
+
+    def test_active_alert_stays_open_at_end_of_stream(self):
+        tracer = SLOTracer(SLOPolicy(objective=0.9, rules=(RULE,)))
+        _synthetic_overload(tracer, miss_until_s=0.06)  # never recovers
+        (alert,) = tracer.alerts
+        assert alert.active and alert.resolved_s is None
+        assert alert.active_at(1.0)
+        assert "active" in format_alerts(tracer.alerts)
+
+    def test_alert_events_reach_the_inner_tracer(self):
+        inner = RecordingTracer()
+        tracer = SLOTracer(SLOPolicy(objective=0.9, rules=(RULE,)),
+                           inner=inner)
+        _synthetic_overload(tracer)
+        alerts = [e for e in inner.events if e.phase == "alert"]
+        assert [e.attrs["state"] for e in alerts] == ["fire", "resolve"]
+        fire, resolve = alerts
+        assert fire.tenant == "load"
+        assert fire.attrs["rule"] == "5ms/20ms x2"
+        assert fire.attrs["burn_short"] == pytest.approx(10.0)
+        assert fire.t_s == pytest.approx(0.005)
+        assert resolve.attrs["fired_s"] == fire.t_s
+        # Alert events are request-less and batch-less.
+        assert fire.request_id is None and fire.batch_id is None
+        # Lifecycle events passed through untouched around them.
+        assert sum(1 for e in inner.events if e.phase == "arrive") == \
+            tracer.aggregator.totals().arrivals
+
+    def test_tenant_filter_suppresses_other_tenants(self):
+        tracer = SLOTracer(SLOPolicy(objective=0.9, rules=(RULE,),
+                                     tenants=("someone-else",)))
+        _synthetic_overload(tracer)
+        assert tracer.alerts == ()
+
+    def test_active_alerts_counts_by_time(self):
+        tracer = SLOTracer(SLOPolicy(objective=0.9, rules=(RULE,)))
+        _synthetic_overload(tracer)
+        (alert,) = tracer.alerts
+        assert tracer.active_alerts(alert.fired_s) == 1
+        assert tracer.active_alerts(alert.fired_s - 1e-6) == 0
+        assert tracer.active_alerts(alert.resolved_s) == 0
+
+    def test_finish_is_idempotent(self):
+        tracer = SLOTracer(SLOPolicy(objective=0.9, rules=(RULE,)))
+        _synthetic_overload(tracer)
+        before = tracer.alerts
+        tracer.finish()
+        assert tracer.alerts == before
+
+
+class TestOverloadGolden:
+    """The full overload scenario, pinned to the golden alert history."""
+
+    @pytest.fixture(scope="class")
+    def replayed(self):
+        inner = RecordingTracer()
+        report = overload_replay(tracer=inner)
+        return report, inner
+
+    def test_alert_history_pinned(self, replayed):
+        report, _ = replayed
+        alerts = report.alerts
+        assert [a.tenant for a in alerts] == \
+            ["analytics", "handshake", "signing"]
+        assert all(a.rule == "5ms/20ms x2" for a in alerts)
+        assert all(a.severity == "page" for a in alerts)
+        assert [a.fired_s for a in alerts] == pytest.approx([0.005] * 3)
+        assert [a.resolved_s for a in alerts] == \
+            pytest.approx([0.015, 0.02, 0.02])
+        assert all(not a.active for a in alerts)
+        assert all(a.burn_short >= OVERLOAD_POLICY.rules[0].threshold
+                   for a in alerts)
+
+    def test_alert_events_in_stream(self, replayed):
+        _, inner = replayed
+        events = [e for e in inner.events if e.phase == "alert"]
+        assert [e.attrs["state"] for e in events] == \
+            ["fire"] * 3 + ["resolve"] * 3
+        assert {e.tenant for e in events} == \
+            {"analytics", "handshake", "signing"}
+
+    def test_format_alerts_renders_history(self, replayed):
+        report, _ = replayed
+        text = format_alerts(report.alerts)
+        lines = text.splitlines()
+        assert "Severity" in lines[0]
+        assert len(lines) == 2 + 3
+        for tenant in ("analytics", "handshake", "signing"):
+            assert any(tenant in line for line in lines[2:])

@@ -1,5 +1,7 @@
 """Percentiles, aggregation invariants, and report formatting."""
 
+import math
+
 import pytest
 
 from repro.errors import ParameterError
@@ -121,16 +123,30 @@ class TestOverloadEdgeCases:
 
     def test_tenant_with_zero_served_requests(self):
         # A tenant whose every request was shed still gets a stats row:
-        # zeroed latency/energy, full drop accounting, 0% attainment.
+        # NaN latency/energy (no data, NOT a zero that reads as
+        # "instant"), full drop accounting, 0% attainment.  The text
+        # report renders the NaN cells as dashes and the serialized
+        # report spells them null (NaN is not strict JSON).
         drops = [drop(i, tenant="shed") for i in range(3)]
         report = aggregate([], [], total_lanes=1, busy_s=0.0, drops=drops)
         (tenant,) = report.by_tenant
         assert tenant.tenant == "shed"
         assert (tenant.offered, tenant.served, tenant.dropped) == (3, 0, 3)
         assert tenant.drop_rate == 1.0
-        assert tenant.mean_ms == 0.0 and tenant.p99_ms == 0.0
-        assert tenant.energy_per_request_nj == 0.0
+        assert math.isnan(tenant.mean_ms) and math.isnan(tenant.p99_ms)
+        assert math.isnan(tenant.energy_per_request_nj)
         assert tenant.slo_attainment == 0.0
+        text = format_serve_report(report)
+        (row,) = [line for line in text.splitlines()
+                  if line.startswith("shed")]
+        assert "nan" not in row and row.count("-") >= 3
+        import json
+
+        from repro.serve import serialize_report
+
+        payload = json.loads(serialize_report(report))
+        (trow,) = payload["by_tenant"]
+        assert trow["mean_ms"] is None and trow["p99_ms"] is None
 
     def test_best_effort_drops_do_not_fake_attainment(self):
         # Dropped requests that never carried a deadline leave
@@ -154,7 +170,7 @@ class TestOverloadEdgeCases:
         stats = {t.tenant: t for t in merged.by_tenant}
         assert stats["ntt"].served == 1 and stats["ntt"].dropped == 0
         assert stats["b"].served == 0 and stats["b"].dropped == 1
-        assert stats["b"].mean_ms == 0.0
+        assert math.isnan(stats["b"].mean_ms)
         assert stats["ntt"].mean_ms > 0.0
 
 

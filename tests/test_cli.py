@@ -295,3 +295,75 @@ class TestObservabilityCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["trace", str(tmp_path / "nope.json")])
         assert excinfo.value.code == 2
+
+
+class TestStreamingCli:
+    """serve --slo-policy and the bench compare regression gate."""
+
+    POLICY = ('{"objective": 0.9, "rules": [{"short_s": 0.005, '
+              '"long_s": 0.02, "threshold": 2.0, "severity": "page"}]}')
+
+    def test_serve_slo_policy_flag(self):
+        args = build_parser().parse_args(["serve", "--slo-policy", "p.json"])
+        assert args.slo_policy == "p.json"
+        assert build_parser().parse_args(["serve"]).slo_policy is None
+
+    def test_serve_with_slo_policy_reports_alerts(self, capsys, tmp_path):
+        policy = tmp_path / "policy.json"
+        policy.write_text(self.POLICY)
+        main(["serve", "--scenario", "mixed-slo", "--arrivals", "poisson",
+              "--rate", "25000", "--duration", "0.015", "--pool-size", "1",
+              "--scheduler", "slo", "--queue-limit", "16", "--seed", "11",
+              "--slo-policy", str(policy)])
+        out = capsys.readouterr().out
+        # The overload must page: the alert section renders with the
+        # fired rule and at least one watched tenant.
+        assert "SLO alerts:" in out
+        assert "5ms/20ms x2" in out
+
+    def test_serve_rejects_bad_policy(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"objective": 2}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--duration", "0.01", "--slo-policy", str(bad)])
+        assert excinfo.value.code == 2
+        assert "objective" in capsys.readouterr().err
+
+    @staticmethod
+    def _artifact(path, name, metrics):
+        import json
+
+        path.write_text(json.dumps({"schema": 1, "name": name,
+                                    "scenario": "s", "git_rev": "x",
+                                    "metrics": metrics}))
+
+    def test_bench_compare_ok_exits_zero(self, capsys, tmp_path):
+        base, fresh = tmp_path / "b.json", tmp_path / "f.json"
+        self._artifact(base, "obs", {"p99_ms": 1.0})
+        self._artifact(fresh, "obs", {"p99_ms": 1.01})
+        main(["bench", "compare", str(base), str(fresh)])
+        assert "1 metric(s) compared" in capsys.readouterr().out
+
+    def test_bench_compare_regression_exits_one(self, capsys, tmp_path):
+        base, fresh = tmp_path / "b.json", tmp_path / "f.json"
+        self._artifact(base, "obs", {"p99_ms": 1.0})
+        self._artifact(fresh, "obs", {"p99_ms": 2.0})
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "compare", str(base), str(fresh)])
+        assert excinfo.value.code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_bench_compare_ignore_skips_metric(self, capsys, tmp_path):
+        base, fresh = tmp_path / "b.json", tmp_path / "f.json"
+        self._artifact(base, "obs", {"wall_s": 1.0})
+        self._artifact(fresh, "obs", {"wall_s": 9.0})
+        main(["bench", "compare", str(base), str(fresh),
+              "--ignore", "wall_s"])
+        assert "1 ignored" in capsys.readouterr().out
+
+    def test_bench_compare_missing_path_exits_two(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "compare", str(tmp_path / "a.json"),
+                  str(tmp_path / "b.json")])
+        assert excinfo.value.code == 2
+        assert "error" in capsys.readouterr().err
