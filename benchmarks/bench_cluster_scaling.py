@@ -1,0 +1,222 @@
+"""Cluster scaling benchmark: one front door, 1 / 4 / 16 chips.
+
+Weak-scaling sweep over the ``cluster:fifo`` scheduler with the
+affinity router: the offered load, the distinct key-material population
+and the chip count all scale together, so each chip sees the same
+per-chip workload shape at roughly two-thirds of one chip's capacity.
+At that operating point linear scaling means throughput tracks the
+offered rate at every size; what breaks it is placement — a router
+that concentrates key material pushes its hottest shard past capacity,
+queues grow for the whole replay, and the 16-chip ratio collapses
+(routing everything to one chip scores ~0.06x).  The sweep therefore
+measures how evenly the router spreads real mixed-tenant traffic, not
+the simulator's peak speed.
+
+The trace is a deterministic mixed-tenant blend on a tiny 16-point
+ring (compiles in milliseconds; the simulated numbers are exact and
+host-independent): 60% ``polymul`` calls over a pool of pinnable
+operand keys — 1/6 of them from a ``hot`` tenant replicated across six
+chips — and 40% operand-less ``ntt`` signing traffic that spreads
+round-robin.  Payload tuples are shared so building ~10^6 requests
+stays cheap.
+
+Acceptance bars, asserted in the pytest entry and in full script runs:
+
+- >= 0.8x linear throughput at 4 AND 16 chips (weak-scaling
+  efficiency against the single-chip baseline at the same per-chip
+  load);
+- cross-shard busy-time imbalance (max/mean) <= 1.5 at 16 chips;
+- zero drops at every scale (routing never loses a request).
+
+Run as a script for the full ~10^6-request sweep (several minutes), or
+``--quick`` for the CI-sized ~3x10^4-request sweep with the same
+assertions; the pytest entry runs quick-sized so the tier-1 suite stays
+fast.  Both write ``BENCH_cluster.json`` (deterministic simulated
+metrics only — safe for the bench compare gate).
+"""
+
+import argparse
+import time
+from typing import Dict, List, Tuple
+
+from _bench_json import write_bench_json
+from repro.cluster import cluster_imbalance
+from repro.ntt.params import STANDARD_PARAMS, NTTParams
+from repro.serve import BatchPolicy, EnginePool, PoolConfig, ServingSimulator
+from repro.serve.request import Request
+
+RING_NAME = "bench-cluster-ring"
+RING_N = 16
+RING_Q = 97
+
+CHIP_SWEEP = (1, 4, 16)
+BASE_COUNT = 40_000       # requests at 1 chip; ~10^6 across the sweep
+QUICK_BASE_COUNT = 1_500  # CI/pytest size; ~3x10^4 across the sweep
+BASE_RATE = 2e6           # calls/s per chip: ~2/3 of one chip's capacity
+KEYS_PER_CHIP = 96        # distinct pinnable operand keys per chip
+REPLICATE = {"": 3, "hot": 6}
+MAX_WAIT_S = 2e-4
+
+MIN_EFFICIENCY = 0.8
+MAX_IMBALANCE = 1.5
+
+
+def build_trace(chips: int, count: int) -> List[Request]:
+    """The deterministic mixed-tenant trace for a ``chips``-wide cluster.
+
+    Payload tuples are shared across requests (the simulator never
+    mutates them), so a million-request trace allocates a few dozen
+    tuples, not a few million.
+    """
+    rate = BASE_RATE * chips
+    keys = KEYS_PER_CHIP * chips
+    payloads = [tuple((k * 7 + j) % RING_Q for j in range(RING_N))
+                for k in range(8)]
+    operands = [tuple((k * 5 + 3 * j + 1) % RING_Q for j in range(RING_N))
+                for k in range(keys)]
+    trace = []
+    for i in range(count):
+        if i % 5 >= 3:  # 40%: operand-less signing traffic, spreads evenly
+            trace.append(Request(
+                request_id=i, op="ntt", params_name=RING_NAME,
+                payload=payloads[i % 8], operand=None, arrival_s=i / rate,
+                tenant="signing", kind="ntt"))
+        else:  # 60%: pinnable key-material traffic, 1/6 of it hot
+            trace.append(Request(
+                request_id=i, op="polymul", params_name=RING_NAME,
+                payload=payloads[i % 8], operand=operands[(i * 7) % keys],
+                arrival_s=i / rate,
+                tenant="hot" if i % 10 == 0 else "handshake", kind="mul"))
+    return trace
+
+
+def run_scaling(base_count: int) -> Dict[int, Tuple[object, float, float]]:
+    """Replay the sweep; returns chips -> (report, imbalance, host_s)."""
+    STANDARD_PARAMS[RING_NAME] = NTTParams(n=RING_N, q=RING_Q,
+                                           name="bench cluster ring")
+    try:
+        # One shared pool across the sweep: chips share the pricing and
+        # program cache (lane occupancy lives in the per-chip
+        # schedulers), exactly as in production serving.
+        pool = EnginePool(PoolConfig(size=2, rows=32, cols=32))
+        results = {}
+        for chips in CHIP_SWEEP:
+            simulator = ServingSimulator(
+                pool, BatchPolicy(max_wait_s=MAX_WAIT_S),
+                scheduler="cluster:fifo",
+                scheduler_options={
+                    "chips": chips,
+                    "router": "affinity",
+                    "router_options": {"replicate": dict(REPLICATE)},
+                },
+            )
+            trace = build_trace(chips, base_count * chips)
+            start = time.perf_counter()
+            report = simulator.replay(trace)
+            host_s = time.perf_counter() - start
+            results[chips] = (report, cluster_imbalance(report, chips),
+                              host_s)
+        return results
+    finally:
+        STANDARD_PARAMS.pop(RING_NAME, None)
+
+
+def efficiencies(results) -> Dict[int, float]:
+    """Weak-scaling efficiency per chip count (1.0 = perfectly linear)."""
+    base = results[1][0].throughput_rps
+    return {chips: report.throughput_rps / (chips * base)
+            for chips, (report, _, _) in results.items()}
+
+
+def format_table(results, base_count: int) -> str:
+    header = (
+        f"{'Chips':>5} {'Requests':>9} {'Thr(req/s)':>12} {'Effic':>6} "
+        f"{'Util':>6} {'Imbal':>6} {'Drops':>5} {'Host(s)':>8}"
+    )
+    lines = [
+        f"weak scaling, cluster:fifo + affinity router "
+        f"(replicate {REPLICATE}), {base_count:,} req/chip, "
+        f"rate {BASE_RATE:g}/s/chip",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    eff = efficiencies(results)
+    for chips, (report, imbalance, host_s) in results.items():
+        lines.append(
+            f"{chips:>5} {report.count:>9,} {report.throughput_rps:>12,.0f} "
+            f"{eff[chips]:>6.2f} {report.utilization:>6.1%} "
+            f"{imbalance:>6.2f} {len(report.drops):>5} {host_s:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def bench_metrics(results) -> Dict[str, float]:
+    """Flat BENCH_cluster.json metrics — simulated numbers only, so the
+    artifact is deterministic and safe for the regression gate."""
+    eff = efficiencies(results)
+    metrics = {}
+    for chips, (report, imbalance, _) in results.items():
+        metrics[f"throughput_rps_{chips}chip"] = report.throughput_rps
+        metrics[f"imbalance_{chips}chip"] = imbalance
+    metrics["efficiency_4chip"] = eff[4]
+    metrics["efficiency_16chip"] = eff[16]
+    return metrics
+
+
+def assert_scaling_holds(results) -> None:
+    """The acceptance bars the PR claims."""
+    eff = efficiencies(results)
+    for chips, (report, imbalance, _) in results.items():
+        assert not report.drops, (
+            f"{chips} chips: routing dropped {len(report.drops)} requests"
+        )
+        assert report.count == report.offered
+    for chips in (4, 16):
+        assert eff[chips] >= MIN_EFFICIENCY, (
+            f"{chips} chips reach only {eff[chips]:.2f}x linear "
+            f"(bar: {MIN_EFFICIENCY})"
+        )
+    imbalance_16 = results[16][1]
+    assert imbalance_16 <= MAX_IMBALANCE, (
+        f"16-chip busy-time imbalance {imbalance_16:.2f} exceeds "
+        f"{MAX_IMBALANCE}"
+    )
+
+
+def test_cluster_scaling(artifact_writer):
+    # Quick-sized so the tier-1 suite stays fast; the assertions are
+    # identical to the full run's.
+    results = run_scaling(QUICK_BASE_COUNT)
+    artifact_writer("cluster_scaling", format_table(results,
+                                                    QUICK_BASE_COUNT))
+    write_bench_json(
+        "cluster",
+        f"weak scaling 1/4/16 chips, {QUICK_BASE_COUNT} req/chip",
+        bench_metrics(results),
+    )
+    assert_scaling_holds(results)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: ~3e4 requests instead of ~1e6 "
+                             "(same assertions)")
+    args = parser.parse_args()
+    base = QUICK_BASE_COUNT if args.quick else BASE_COUNT
+    results = run_scaling(base)
+    print(format_table(results, base))
+    path = write_bench_json(
+        "cluster", f"weak scaling 1/4/16 chips, {base} req/chip",
+        bench_metrics(results))
+    print(f"\nwrote {path}")
+    assert_scaling_holds(results)
+    eff = efficiencies(results)
+    print(f"\n16 chips deliver {eff[16]:.2f}x linear throughput "
+          f"(bar {MIN_EFFICIENCY}); imbalance {results[16][1]:.2f} "
+          f"(bar {MAX_IMBALANCE})")
+
+
+if __name__ == "__main__":
+    main()

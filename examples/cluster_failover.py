@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Chip failover: drain, fail, and re-place pinned key material.
+
+A 4-chip cluster serves a Kyber handshake trace behind one front door
+(:class:`~repro.cluster.ClusterSimulator`).  The affinity router pins
+each piece of key material (each distinct polymul operand) to one chip
+by rendezvous hashing, so its compiled program and coefficients stay
+resident.  The demo then disturbs the cluster on the replay clock:
+
+1. **Baseline** — discover where the router pinned each key.
+2. **Drain** — take the busiest chip out of routing for a window, then
+   restore it.  Traffic routes around the chip while it's draining and
+   *returns to the same chip* afterwards (rendezvous ranking is stable),
+   and pins on untouched chips never move.
+3. **Fail** — kill the same chip mid-trace.  Its open batches are
+   flushed and every queued request is re-enqueued on the survivors:
+   request conservation (SCHED009) holds across the failure, so the
+   cluster still answers the full trace.
+
+Every replay is also checked against the cluster conformance rules
+(CLUSTER001-003 on top of SCHED001-009 per chip).
+
+Run: ``python examples/cluster_failover.py``
+"""
+
+from collections import defaultdict
+
+from repro.check import check_cluster_trace, check_trace, cluster_busy_by_chip
+from repro.cluster import ClusterSimulator
+from repro.obs import RecordingTracer
+from repro.serve import ReplayConfig
+
+CHIPS = 4
+CONFIG = ReplayConfig(scenario="kyber", rate=2000.0, duration=0.03,
+                      seed=2023, chips=CHIPS, router="affinity")
+
+DRAIN_S, RESTORE_S = 8e-3, 18e-3
+FAIL_S = 10e-3
+
+
+def replay(chip_events=()):
+    front_door = ClusterSimulator(CONFIG)
+    tracer = RecordingTracer()
+    report = front_door.replay(CONFIG.build_trace(),
+                               chip_events=chip_events, tracer=tracer)
+    findings = (check_trace(tracer.events)
+                + check_cluster_trace(tracer.events, chips=CHIPS,
+                                      chip_events=chip_events))
+    assert findings == [], findings  # conformance holds under every run
+    return report, tracer.events
+
+
+def pins_by_key(trace, events):
+    """key material -> [(arrival_s, chip), ...] from the enqueue stream."""
+    operand_of = {r.request_id: r.operand for r in trace}
+    pins = defaultdict(list)
+    for event in events:
+        if event.phase == "enqueue":
+            pins[operand_of[event.request_id]].append(
+                (event.t_s, event.attrs["chip"]))
+    return pins
+
+
+def busy_table(label, report, events):
+    busy = cluster_busy_by_chip(events, CHIPS)
+    cells = "  ".join(f"chip{c}={b * 1e3:6.2f}ms" for c, b in enumerate(busy))
+    imbalance = report.registry.gauge("cluster.imbalance").value
+    print(f"{label:<10} {cells}  imbalance={imbalance:.2f}")
+
+
+def main() -> None:
+    trace = CONFIG.build_trace()
+    print(f"{CONFIG.describe()}\n{len(trace)} requests, "
+          f"{len({r.operand for r in trace})} distinct keys\n")
+
+    # -- baseline: where did the router pin each key? -------------------
+    base_report, base_events = replay()
+    base_pins = pins_by_key(trace, base_events)
+    owner = {key: chips[0][1] for key, chips in base_pins.items()}
+    assert all(len({c for _, c in p}) == 1 for p in base_pins.values()), \
+        "affinity must keep each key on exactly one chip"
+    victim = max(owner.values(),
+                 key=lambda c: sum(1 for o in owner.values() if o == c))
+    busy_table("baseline", base_report, base_events)
+    pin_text = ", ".join(f"key{i} -> chip{owner[key]}"
+                         for i, key in enumerate(sorted(owner)))
+    print(f"key pins: {pin_text}; victim = chip {victim}\n")
+
+    # -- drain: route around, then come home ----------------------------
+    drain_events = ((DRAIN_S, victim, "drain"), (RESTORE_S, victim, "restore"))
+    drain_report, drain_evts = replay(drain_events)
+    assert drain_report.count == len(trace)  # drained, not dropped
+    drain_pins = pins_by_key(trace, drain_evts)
+    for key, chip in owner.items():
+        during = [c for t, c in drain_pins[key] if DRAIN_S < t < RESTORE_S]
+        after = [c for t, c in drain_pins[key] if t >= RESTORE_S]
+        if chip == victim:
+            assert all(c != victim for c in during)  # routed around
+            assert after and all(c == victim for c in after)  # came home
+        else:
+            # Rendezvous stability: untouched pins never move.
+            assert all(c == chip for _, c in drain_pins[key])
+    busy_table("drain", drain_report, drain_evts)
+    print(f"chip {victim} drained {DRAIN_S * 1e3:g}-{RESTORE_S * 1e3:g} ms: "
+          f"its keys detoured, returned home on restore, and no other "
+          f"pin moved\n")
+
+    # -- fail: flush, re-enqueue on survivors, conserve every request ---
+    fail_report, fail_evts = replay(((FAIL_S, victim, "fail"),))
+    assert fail_report.count == len(trace), \
+        "chip failure must not lose admitted requests"
+    assert not fail_report.drops
+    late = {e.attrs["chip"] for e in fail_evts
+            if e.phase == "enqueue" and e.t_s > FAIL_S}
+    assert victim not in late  # survivors absorb everything
+    busy_table("fail", fail_report, fail_evts)
+    print(f"chip {victim} failed at {FAIL_S * 1e3:g} ms: open batches "
+          f"flushed, queued work re-enqueued on chips {sorted(late)}, "
+          f"all {fail_report.count} requests still answered")
+
+
+if __name__ == "__main__":
+    main()

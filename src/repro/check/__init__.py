@@ -18,7 +18,11 @@ correctness tooling layer:
   disposition, lane exclusivity, batch containment, monotone stages,
   conservation), offline via :func:`check_trace` or live via
   :class:`CheckingTracer`.
-- :mod:`repro.check.registry` — backend/scheduler registry drift.
+- :mod:`repro.check.registry` — backend/scheduler/scenario/router
+  registry drift.
+- :mod:`repro.check.cluster` — cluster routing conformance (chip
+  namespacing, dead-chip routing, cross-shard imbalance), layered on
+  the SCHED rules per chip.
 
 Everything reports through one :class:`Diagnostic` model (rule id,
 severity, location, fix hint; the ids live in :data:`RULE_CATALOG`),
@@ -54,6 +58,7 @@ from repro.check.diagnostics import (
     info,
     warning,
 )
+from repro.check.cluster import check_cluster_trace, cluster_busy_by_chip
 from repro.check.he import (
     HE_PARAM_SETS,
     HEDepthGate,
@@ -104,12 +109,14 @@ __all__ = [
     "RULE_CATALOG",
     "Severity",
     "available_checkers",
+    "check_cluster_trace",
     "check_depth",
     "check_program",
     "check_registries",
     "check_scenario",
     "check_trace",
     "checked_replay",
+    "cluster_busy_by_chip",
     "diagnostics_json",
     "error",
     "format_diagnostics",

@@ -1,0 +1,158 @@
+"""Cluster routing conformance over a chip-namespaced event stream.
+
+The cluster scheduler namespaces batch and lane ids (``chip = id %
+chips``) and labels every scheduler-level event with a ``"chip"``
+attribute, so the routing contract is checkable from the same
+:class:`~repro.obs.TraceEvent` stream the SCHED rules already consume:
+
+- **CLUSTER001** — a batch's events must agree on the owning chip:
+  the ``chip`` attribute, ``batch_id % chips`` and ``lane % chips``
+  all name the same shard (a disagreement means namespacing broke and
+  per-chip lane exclusivity is no longer being checked on real lanes).
+- **CLUSTER002** — no request enqueues on a chip after its ``drain``
+  or ``fail`` event (until a ``restore``): the router must stop
+  routing to dead shards.  An enqueue exactly *at* the event instant
+  is legal — arrivals tie-break before chip events on the simulator
+  clock.
+- **CLUSTER003** (warning) — cross-shard busy-time imbalance
+  (``max/mean`` over per-chip lane seconds) above the caller's bound.
+
+Per chip, the batch-scoped SCHED rules (lane exclusivity, pairing,
+dispatch-after-open) re-run on that chip's slice of the stream, so a
+conformance hole cannot hide in the merge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.check.diagnostics import Diagnostic, error, warning
+from repro.check.sched import _EPS, check_trace
+from repro.obs.tracer import TraceEvent
+
+__all__ = ["check_cluster_trace", "cluster_busy_by_chip"]
+
+_BATCH_PHASES = ("batch_open", "dispatch", "lane_start", "lane_finish")
+
+
+def cluster_busy_by_chip(events: Iterable[TraceEvent],
+                         chips: int) -> List[float]:
+    """Per-chip busy seconds from paired lane events."""
+    busy = [0.0] * chips
+    starts: Dict[Tuple[int, int], float] = {}
+    for event in events:
+        if event.phase == "lane_start" and event.lane is not None:
+            starts[(event.lane, event.batch_id)] = event.t_s
+        elif event.phase == "lane_finish" and event.lane is not None:
+            start = starts.pop((event.lane, event.batch_id), None)
+            if start is not None:
+                busy[event.lane % chips] += event.t_s - start
+    return busy
+
+
+def _down_windows(chip_events: Sequence) -> Dict[int, List[Tuple[float, str]]]:
+    """Per chip, the (time, action) transitions sorted by time."""
+    transitions: Dict[int, List[Tuple[float, str]]] = {}
+    for event in chip_events:
+        if isinstance(event, tuple):
+            t_s, chip, action = event
+        else:
+            t_s, chip, action = event.t_s, event.chip, event.action
+        transitions.setdefault(chip, []).append((t_s, action))
+    for chip in transitions:
+        transitions[chip].sort()
+    return transitions
+
+
+def _down_at(transitions: List[Tuple[float, str]], t_s: float) -> bool:
+    """Whether the chip is drained/failed strictly before ``t_s``.
+
+    Transitions at exactly ``t_s`` do not count: the simulator
+    processes same-instant arrivals before chip events.
+    """
+    down = False
+    for when, action in transitions:
+        if when >= t_s - _EPS:
+            break
+        down = action in ("drain", "fail")
+    return down
+
+
+def check_cluster_trace(events: Iterable[TraceEvent], *, chips: int,
+                        chip_events: Sequence = (),
+                        shared_lanes: bool = False,
+                        imbalance_bound: Optional[float] = None
+                        ) -> List[Diagnostic]:
+    """Verify the routing contract over one cluster replay's events.
+
+    ``shared_lanes`` follows the *inner* scheduler exactly as it does
+    for a single chip (fifo numbers lanes per parameter set; the
+    global schedulers share one namespace).  ``imbalance_bound``, when
+    given, arms the CLUSTER003 warning.
+    """
+    events = list(events)
+    diagnostics: List[Diagnostic] = []
+    per_chip: Dict[int, List[TraceEvent]] = {}
+
+    for event in events:
+        if event.batch_id is None or event.phase not in _BATCH_PHASES:
+            continue
+        owner = event.batch_id % chips
+        per_chip.setdefault(owner, []).append(event)
+        claims = {"batch_id": owner}
+        chip_attr = event.attrs.get("chip")
+        if chip_attr is not None:
+            claims["chip attr"] = chip_attr
+        if event.lane is not None:
+            claims["lane"] = event.lane % chips
+        if len(set(claims.values())) > 1:
+            detail = ", ".join(f"{key} says chip {value}"
+                               for key, value in sorted(claims.items()))
+            diagnostics.append(error(
+                "CLUSTER001", f"batch {event.batch_id}",
+                f"{event.phase} event disagrees on its shard: {detail}",
+                hint="batch and lane ids must stay chip-namespaced "
+                     "(id % chips) end to end",
+            ))
+
+    transitions = _down_windows(chip_events)
+    if transitions:
+        for event in events:
+            if event.phase != "enqueue":
+                continue
+            chip = event.attrs.get("chip")
+            if chip is None or chip not in transitions:
+                continue
+            if _down_at(transitions[chip], event.t_s):
+                diagnostics.append(error(
+                    "CLUSTER002",
+                    f"request {event.request_id}",
+                    f"enqueued on chip {chip} at t={event.t_s:.9f}s while "
+                    f"it was drained or failed",
+                    hint="the router must route around dead chips until "
+                         "their restore event",
+                ))
+
+    for chip in sorted(per_chip):
+        for diagnostic in check_trace(per_chip[chip],
+                                      shared_lanes=shared_lanes,
+                                      complete=False):
+            diagnostics.append(dataclasses.replace(
+                diagnostic, location=f"chip {chip}: {diagnostic.location}"))
+
+    if imbalance_bound is not None and chips > 1:
+        busy = cluster_busy_by_chip(events, chips)
+        mean = sum(busy) / chips
+        if mean > 0.0:
+            imbalance = max(busy) / mean
+            if imbalance > imbalance_bound:
+                diagnostics.append(warning(
+                    "CLUSTER003", f"cluster of {chips}",
+                    f"busy-time imbalance {imbalance:.2f} exceeds the "
+                    f"bound {imbalance_bound:.2f}",
+                    hint="check the router's spread of operand-less and "
+                         "hot-tenant traffic (replication, round-robin "
+                         "fallback)",
+                ))
+    return diagnostics

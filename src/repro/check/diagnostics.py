@@ -65,6 +65,10 @@ RULE_CATALOG: Dict[str, str] = {
     # -- registry drift (check/registry.py) ---------------------------
     "REG001": "registered backend/scheduler name fails to resolve",
     "REG002": "registered name missing from the serve --help text",
+    # -- cluster routing conformance (check/cluster.py) ---------------
+    "CLUSTER001": "batch events disagree on the owning chip",
+    "CLUSTER002": "request enqueued on a drained or failed chip",
+    "CLUSTER003": "cross-shard busy-time imbalance above the bound",
 }
 
 

@@ -7,9 +7,12 @@ dynamically, so a name can resolve yet be invisible to users if the
 parser wiring regresses.  This rule (promoted from a one-off CLI test)
 closes both gaps:
 
-- REG001: every name in :func:`~repro.backends.available_backends` and
-  :func:`~repro.sched.available_schedulers` resolves through its
-  registry — imports clean, attribute exists.
+- REG001: every name in :func:`~repro.backends.available_backends`,
+  :func:`~repro.sched.available_schedulers`,
+  :func:`~repro.serve.available_scenarios` and
+  :func:`~repro.cluster.available_routers` resolves through its
+  registry — imports clean, attribute exists (scenario factories must
+  additionally *build*, which validates their mix weights).
 - REG002: every name appears in ``repro.cli serve --help``, i.e. the
   parser choices really are derived from the registries.
 """
@@ -40,13 +43,17 @@ def _serve_help_text() -> str:
 def check_registries() -> List[Diagnostic]:
     """Run the drift rule over both registries; findings when stale."""
     from repro.backends import available_backends, get_backend
+    from repro.cluster import available_routers, get_router
     from repro.sched import available_schedulers, get_scheduler
+    from repro.serve import available_scenarios, get_scenario
 
     diagnostics: List[Diagnostic] = []
     resolved = []
     for registry_name, names, get in (
         ("backend", available_backends(), get_backend),
         ("scheduler", available_schedulers(), get_scheduler),
+        ("scenario", available_scenarios(), get_scenario),
+        ("router", available_routers(), get_router),
     ):
         for name in names:
             where = f"{registry_name} {name!r}"

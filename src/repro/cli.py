@@ -26,6 +26,16 @@ relinearization products); ``hedepth`` charts the noise those products
 accumulate per multiplicative level on the paper's three HE parameter
 sets.
 
+Cluster serving (:mod:`repro.cluster`): ``serve --chips N`` shards the
+replay across N chips behind one front door — the router
+(``--router``, default ``affinity``: rendezvous-hashed key-material
+pinning) places each request on a chip, that chip's scheduler batches
+it, and the report aggregates per-chip gauges plus a cross-shard
+imbalance metric.  A cluster of one replays byte-identically to the
+single-chip path.  Every ``serve`` knob is one frozen
+:class:`repro.serve.ReplayConfig`; the CLI just builds one from its
+flags.
+
 Observability (:mod:`repro.obs`): ``serve --trace-out t.json`` records
 the full request lifecycle and writes a Chrome-trace JSON (load it in
 Perfetto / ``chrome://tracing``; ``.jsonl`` extension writes raw JSONL
@@ -49,8 +59,9 @@ Static checks (:mod:`repro.check`): ``check program`` verifies compiled
 instruction streams (dataflow, geometry, carry-chain widths, cost
 tables), ``check he`` bounds multiply-chain noise against the decrypt
 guarantee, ``check trace`` runs the scheduler-conformance rules over a
-recorded JSONL trace or a live ``--scenario`` replay, ``check
-registry`` detects backend/scheduler registry drift, and ``check all``
+recorded JSONL trace or a live ``--scenario`` replay (``--chips N``
+adds the cluster routing rules), ``check registry`` detects
+backend/scheduler/scenario/router registry drift, and ``check all``
 runs everything plus any user-registered rules.  ``--json`` emits
 machine-readable findings; the exit code is 1 when any error-severity
 diagnostic fires (the CI gate relies on this) and ``--catalog`` lists
@@ -168,65 +179,37 @@ def _cmd_breakdown(_: argparse.Namespace) -> None:
 
 def _cmd_serve(args: argparse.Namespace) -> None:
     from repro.errors import ReproError
-    from repro.serve import (
-        BatchPolicy,
-        EnginePool,
-        PoolConfig,
-        ServingSimulator,
-        bursty_trace,
-        format_serve_report,
-        poisson_trace,
-    )
+    from repro.serve import ReplayConfig, format_serve_report
 
-    make_trace = poisson_trace if args.arrivals == "poisson" else bursty_trace
+    if args.slo_ms is not None and args.slo_ms <= 0:
+        # A non-positive budget would silently shed 100% of the load as
+        # deadline_unmet; reject it like the scheduler knobs reject
+        # their misconfigurations.
+        print(f"error: --slo-ms must be > 0, got {args.slo_ms:g}",
+              file=sys.stderr)
+        sys.exit(2)
     try:
-        trace = make_trace(args.scenario, args.rate, args.duration, seed=args.seed)
+        config = ReplayConfig.from_args(args)
+        trace = config.build_trace()
         if not trace:
             print("trace is empty; raise --rate or --duration")
             sys.exit(1)
-        if args.slo_ms is not None:
-            if args.slo_ms <= 0:
-                # A non-positive budget would silently shed 100% of the
-                # load as deadline_unmet; reject it like the scheduler
-                # knobs reject their misconfigurations.
-                print(f"error: --slo-ms must be > 0, got {args.slo_ms:g}",
-                      file=sys.stderr)
-                sys.exit(2)
-            # A uniform latency budget for requests that carry none;
-            # scenario-declared SLOs (mixed-slo) keep their own.
-            import dataclasses
+        if config.chips > 1:
+            from repro.cluster import ClusterSimulator
 
-            trace = [
-                r if r.deadline_s is not None else dataclasses.replace(
-                    r, deadline_s=r.arrival_s + args.slo_ms * 1e-3
-                )
-                for r in trace
-            ]
-        pool = EnginePool(PoolConfig(size=args.pool_size, subarrays=args.subarrays))
-        policy = BatchPolicy(
-            max_wait_s=args.max_wait_ms * 1e-3,
-            max_batch=args.max_batch,
-        )
-        # Forward --queue-limit only when the user set it: the slo
-        # scheduler consumes it, any other scheduler rejects it loudly
-        # (a silent no-op would fake a bounded queue).
-        scheduler_options = {}
-        if args.queue_limit is not None:
-            scheduler_options["queue_limit"] = args.queue_limit
-        simulator = ServingSimulator(
-            pool, policy, backend=args.backend,
-            scheduler=args.scheduler, scheduler_options=scheduler_options,
-        )
+            simulator = ClusterSimulator(config)
+        else:
+            simulator = config.build_simulator()
         tracer = None
-        if args.trace_out is not None:
+        if config.trace_out is not None:
             from repro.obs import RecordingTracer
 
             tracer = RecordingTracer()
         replay_tracer = tracer
-        if args.slo_policy is not None:
+        if config.slo_policy is not None:
             from repro.obs import SLOPolicy, SLOTracer
 
-            policy_spec = SLOPolicy.from_file(args.slo_policy)
+            policy_spec = SLOPolicy.from_file(config.slo_policy)
             # Wrap whatever tracer is active: the SLO monitor feeds the
             # recording (alert events land in --trace-out files) and
             # surfaces its Alert history into the report.
@@ -235,13 +218,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         sys.exit(2)
-    print(
-        f"scenario={args.scenario} arrivals={args.arrivals} "
-        f"rate={args.rate:g}/s duration={args.duration:g}s "
-        f"pool={args.pool_size}x{args.subarrays} "
-        f"max-wait={args.max_wait_ms:g}ms backend={args.backend} "
-        f"scheduler={args.scheduler}"
-    )
+    print(config.describe())
     print()
     print(format_serve_report(report))
     if tracer is not None:
@@ -319,31 +296,14 @@ def _cmd_watch(args: argparse.Namespace) -> None:
                 tracer.emit(event)
             tracer.finish()
         else:
-            from repro.serve import (
-                BatchPolicy,
-                EnginePool,
-                PoolConfig,
-                ServingSimulator,
-                bursty_trace,
-                poisson_trace,
-            )
+            from repro.serve import ReplayConfig
 
-            make_trace = poisson_trace if args.arrivals == "poisson" \
-                else bursty_trace
-            trace = make_trace(args.scenario, args.rate, args.duration,
-                               seed=args.seed)
+            config = ReplayConfig.from_args(args)
+            trace = config.build_trace()
             if not trace:
                 print("trace is empty; raise --rate or --duration")
                 sys.exit(1)
-            scheduler_options = {}
-            if args.queue_limit is not None:
-                scheduler_options["queue_limit"] = args.queue_limit
-            simulator = ServingSimulator(
-                EnginePool(PoolConfig(size=args.pool_size)),
-                BatchPolicy(max_wait_s=args.max_wait_ms * 1e-3),
-                scheduler=args.scheduler,
-                scheduler_options=scheduler_options,
-            )
+            simulator = config.build_simulator()
             simulator.replay(trace, tracer=tracer)  # replay calls finish()
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -449,11 +409,17 @@ def _check_program_suite(sets) -> List:
 
 
 def _check_scenario_trace(scenario: str, scheduler: Optional[str],
-                          seed: int) -> List:
-    """Replay a workload scenario live under a CheckingTracer."""
+                          seed: int, chips: int = 1) -> List:
+    """Replay a workload scenario live under the conformance rules.
+
+    ``chips > 1`` replays the scenario through the cluster scheduler
+    and layers :func:`repro.check.check_cluster_trace` (chip
+    namespacing, dead-chip routing, per-chip SCHED rules) on top of the
+    whole-stream conformance check.
+    """
     import dataclasses
 
-    from repro.check import CheckingTracer
+    from repro.check import CheckingTracer, check_cluster_trace, check_trace
     from repro.serve import (
         BatchPolicy,
         EnginePool,
@@ -467,18 +433,37 @@ def _check_scenario_trace(scenario: str, scheduler: Optional[str],
     # traffic they were designed for); everything else replays fifo.
     slo_flavored = "slo" in scenario
     scheduler = scheduler or ("slo" if slo_flavored else "fifo")
+    # Lane-sharing semantics follow the *inner* scheduler even behind
+    # the cluster namespace: fifo numbers lanes per parameter set.
+    inner = scheduler.partition(":")[2] or scheduler
+    shared_lanes = inner != "fifo"
     make_trace = bursty_trace if slo_flavored else poisson_trace
     trace = make_trace(scenario, 400.0, 0.05, seed=seed)
+    scheduler_options = {"queue_limit": 64} if inner == "slo" else {}
+    if chips > 1:
+        if not scheduler.startswith("cluster:"):
+            scheduler = f"cluster:{scheduler}"
+        scheduler_options["chips"] = chips
     simulator = ServingSimulator(
         EnginePool(PoolConfig(size=2)), BatchPolicy(max_wait_s=2e-3),
         scheduler=scheduler,
-        scheduler_options={"queue_limit": 64} if scheduler == "slo" else {},
+        scheduler_options=scheduler_options,
     )
-    tracer = CheckingTracer(shared_lanes=scheduler != "fifo")
-    simulator.replay(trace, tracer=tracer)
+    if chips > 1:
+        from repro.obs import RecordingTracer
+
+        tracer = RecordingTracer()
+        simulator.replay(trace, tracer=tracer)
+        findings = check_trace(tracer.events, shared_lanes=shared_lanes)
+        findings += check_cluster_trace(
+            tracer.events, chips=chips, shared_lanes=shared_lanes)
+    else:
+        tracer = CheckingTracer(shared_lanes=shared_lanes)
+        simulator.replay(trace, tracer=tracer)
+        findings = tracer.finish()
     return [
         dataclasses.replace(d, location=f"{scenario}: {d.location}")
-        for d in tracer.finish()
+        for d in findings
     ]
 
 
@@ -545,8 +530,8 @@ def _cmd_check(args: argparse.Namespace) -> None:
             for path in args.paths:
                 diagnostics.extend(_check_trace_file(path))
             for scenario in scenarios:
-                diagnostics.extend(
-                    _check_scenario_trace(scenario, args.scheduler, args.seed))
+                diagnostics.extend(_check_scenario_trace(
+                    scenario, args.scheduler, args.seed, args.chips))
         if run_all or args.mode == "registry":
             diagnostics.extend(checklib.check_registries())
         if run_all:
@@ -598,10 +583,14 @@ _COMMANDS = {
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     from repro.backends import available_backends
+    from repro.cluster import available_routers
     from repro.sched import available_schedulers
+    from repro.serve import available_scenarios
 
     backend_names = available_backends()
     scheduler_names = available_schedulers()
+    scenario_names = available_scenarios()
+    router_names = available_routers()
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="Regenerate BP-NTT paper artifacts from the reproduction.",
@@ -612,10 +601,12 @@ def build_parser() -> argparse.ArgumentParser:
             cmd = sub.add_parser(
                 name, help="simulate request-level serving over pooled engines"
             )
-            cmd.add_argument("--scenario", default="mixed",
-                             help="traffic mix: ntt, kyber, dilithium, he, "
-                                  "he-mul (ciphertext products), mixed, "
-                                  "mixed-slo, mixed-deep (default mixed)")
+            cmd.add_argument("--scenario", choices=scenario_names,
+                             default="mixed",
+                             help="traffic mix, one of: "
+                                  f"{', '.join(scenario_names)} "
+                                  "(default mixed; any scenario registered "
+                                  "in repro.serve.workload appears here)")
             cmd.add_argument("--rate", type=float, default=200.0,
                              help="mean client calls per second (default 200)")
             cmd.add_argument("--duration", type=float, default=1.0,
@@ -630,13 +621,12 @@ def build_parser() -> argparse.ArgumentParser:
                              help="cap requests per batch (default: capacity)")
             cmd.add_argument("--arrivals", choices=("poisson", "bursty"),
                              default="poisson", help="arrival process")
-            cmd.add_argument("--backend", "--mode", dest="backend",
-                             choices=backend_names, default="model",
+            cmd.add_argument("--backend", choices=backend_names,
+                             default="model",
                              help="execution backend, one of: "
                                   f"{', '.join(backend_names)} "
                                   "(default model; `repro.cli backends` "
-                                  "describes each; --mode is the "
-                                  "deprecated spelling)")
+                                  "describes each)")
             cmd.add_argument("--scheduler", choices=scheduler_names,
                              default="fifo",
                              help="serving scheduler, one of: "
@@ -651,6 +641,18 @@ def build_parser() -> argparse.ArgumentParser:
                                   "before admission drops (scheduler "
                                   "default 64); rejected by schedulers "
                                   "that never drop")
+            cmd.add_argument("--chips", type=int, default=1,
+                             help="shard the replay across this many chips "
+                                  "behind one front door (default 1; the "
+                                  "scheduler runs per chip, the router "
+                                  "places requests)")
+            cmd.add_argument("--router", choices=router_names,
+                             default="affinity",
+                             help="cluster placement policy, one of: "
+                                  f"{', '.join(router_names)} "
+                                  "(default affinity: rendezvous-hashed "
+                                  "key-material pinning; only used with "
+                                  "--chips > 1)")
             cmd.add_argument("--trace-out", default=None, metavar="PATH",
                              help="record the request lifecycle and write a "
                                   "Chrome-trace JSON here (Perfetto-loadable; "
@@ -685,7 +687,8 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--no-refresh", action="store_true",
                              help="append one line per window even on a "
                                   "tty (the pipe/CI default)")
-            cmd.add_argument("--scenario", default="mixed-slo",
+            cmd.add_argument("--scenario", choices=scenario_names,
+                             default="mixed-slo",
                              help="live mode traffic mix (default mixed-slo)")
             cmd.add_argument("--rate", type=float, default=4000.0,
                              help="live mode calls per second (default 4000)")
@@ -742,8 +745,6 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_parser(name, help="list registered execution backends")
             continue
         if name == "check":
-            from repro.serve.workload import SCENARIOS
-
             cmd = sub.add_parser(
                 name, help="static checks: program verifier, HE depth "
                            "pre-check, scheduler conformance, registry drift"
@@ -769,7 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(default 1, one ct x ct product)")
             cmd.add_argument("--plaintext-modulus", type=int, default=2)
             cmd.add_argument("--scenario", dest="scenarios", action="append",
-                             choices=tuple(sorted(SCENARIOS)), default=None,
+                             choices=scenario_names, default=None,
                              help="trace mode: replay this workload scenario "
                                   "live under a CheckingTracer (repeatable; "
                                   "`check all` replays kyber and mixed-slo)")
@@ -778,6 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="trace mode: scheduler for --scenario "
                                   "replays (default: slo for *slo "
                                   "scenarios, else fifo)")
+            cmd.add_argument("--chips", type=int, default=1,
+                             help="trace mode: replay --scenario traffic "
+                                  "across this many chips and add the "
+                                  "CLUSTER routing rules (default 1)")
             cmd.add_argument("--json", action="store_true",
                              help="emit findings as JSON instead of text")
             cmd.add_argument("--catalog", action="store_true",

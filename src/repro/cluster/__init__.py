@@ -1,0 +1,51 @@
+"""Multi-chip sharded serving behind one front door.
+
+The cluster layer is a second scheduling level over the existing
+:class:`~repro.sched.base.Scheduler` protocol: a router places each
+admitted request on a chip (key-material affinity via rendezvous
+hashing, optional replication for hot tenants), and that chip's own
+scheduler instance — any registered policy — picks the lane.  Every
+SCHED conformance rule keeps holding per chip; the CLUSTER rules in
+:mod:`repro.check.cluster` add the routing-level contract on top.
+
+Entry points:
+
+- ``scheduler="cluster:<inner>"`` on a plain
+  :class:`~repro.serve.simulator.ServingSimulator` (the namespace is
+  registered in :mod:`repro.sched.registry`).
+- :class:`ClusterSimulator`, which consumes a whole
+  :class:`~repro.serve.config.ReplayConfig` and annotates reports with
+  per-chip gauges and the cross-shard imbalance metric.
+"""
+
+from repro.cluster.router import (
+    AffinityRouter,
+    RoundRobinRouter,
+    available_routers,
+    create_router,
+    get_router,
+    register_router,
+    unregister_router,
+)
+from repro.cluster.scheduler import ChipEvent, ClusterScheduler, cluster_factory
+from repro.cluster.simulator import (
+    ClusterSimulator,
+    annotate_cluster_metrics,
+    cluster_imbalance,
+)
+
+__all__ = [
+    "AffinityRouter",
+    "ChipEvent",
+    "ClusterScheduler",
+    "ClusterSimulator",
+    "RoundRobinRouter",
+    "annotate_cluster_metrics",
+    "available_routers",
+    "cluster_factory",
+    "cluster_imbalance",
+    "create_router",
+    "get_router",
+    "register_router",
+    "unregister_router",
+]

@@ -1,0 +1,33 @@
+"""Cluster-scale traffic mixes, registered via the scenario registry.
+
+``cluster-mixed`` is the routing stress mix: a wide Kyber key pool
+(eight distinct long-lived operands for rendezvous hashing to spread),
+operand-less Dilithium NTTs (round-robin spread traffic), an HE
+analytics tenant on the 1024-point ring, and a ``hot`` tenant whose
+two keys concentrate load — the case ``replicate={"hot": k}`` on the
+affinity router exists for.  Key counts are deliberately modest: every
+distinct ``polymul`` operand compiles its own pointwise program the
+first time a chip prices it (~1.6 s on the Kyber ring, ~12 s on the HE
+ring), so the mix keeps one-time compile cost near the existing
+``mixed-slo``/``he-mul`` smokes.
+"""
+
+from __future__ import annotations
+
+from repro.serve.workload import MixComponent, Scenario
+
+__all__ = ["cluster_mixed"]
+
+
+def cluster_mixed() -> Scenario:
+    """The multi-chip mixed-tenant scenario (see module docstring)."""
+    return Scenario("cluster-mixed", (
+        MixComponent("kyber", "polymul", "kyber-v1", 0.40, operand_pool=8,
+                     tenant="handshake", slo_ms=4.0),
+        MixComponent("dilithium", "ntt", "dilithium", 0.25,
+                     tenant="signing", slo_ms=8.0),
+        MixComponent("he", "polymul", "he-16bit", 0.15, operand_pool=1,
+                     requests_per_call=2, tenant="analytics", slo_ms=25.0),
+        MixComponent("kyber-hot", "polymul", "kyber-v1", 0.20, operand_pool=2,
+                     tenant="hot", slo_ms=4.0),
+    ))

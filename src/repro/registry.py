@@ -28,6 +28,7 @@ class FactoryRegistry:
         self.kind = kind
         self.error = error
         self._entries: Dict[str, Union[str, Callable]] = {}
+        self._namespaces: Dict[str, Union[str, Callable]] = {}
 
     def register(self, name: str, factory: Union[str, Callable], *,
                  replace: bool = False) -> None:
@@ -58,19 +59,45 @@ class FactoryRegistry:
             )
         self._entries[name] = factory
 
+    def register_namespace(self, prefix: str, wrapper: Union[str, Callable], *,
+                           replace: bool = False) -> None:
+        """Register ``wrapper`` as a factory-of-factories under ``prefix``.
+
+        A namespace turns every base entry ``inner`` into a derived name
+        ``"<prefix>:<inner>"``: :meth:`get` resolves such a name by
+        calling ``wrapper(inner)``, which must return a factory with the
+        registry's usual signature.  ``wrapper`` may itself be a lazy
+        ``"module.path:attribute"`` spec.
+        """
+        if not prefix or not isinstance(prefix, str) or ":" in prefix:
+            raise self.error(
+                f"{self.kind} namespace prefix must be a non-empty string "
+                f"without ':', got {prefix!r}"
+            )
+        if prefix in self._namespaces and not replace:
+            raise self.error(
+                f"{self.kind} namespace {prefix!r} is already registered; "
+                f"pass replace=True to override"
+            )
+        if isinstance(wrapper, str):
+            if ":" not in wrapper:
+                raise self.error(
+                    f"lazy {self.kind} namespace spec must look like "
+                    f"'module.path:attribute', got {wrapper!r}"
+                )
+        elif not callable(wrapper):
+            raise self.error(
+                f"{self.kind} namespace wrapper must be callable, "
+                f"got {wrapper!r}"
+            )
+        self._namespaces[prefix] = wrapper
+
     def unregister(self, name: str) -> None:
         """Remove an entry (no-op when absent); used by tests and plugins."""
         self._entries.pop(name, None)
+        self._namespaces.pop(name, None)
 
-    def get(self, name: str) -> Callable:
-        """The factory registered under ``name`` (resolving lazy specs)."""
-        try:
-            spec = self._entries[name]
-        except KeyError:
-            raise self.error(
-                f"unknown {self.kind} {name!r}; available: "
-                f"{', '.join(self.available()) or '(none)'}"
-            ) from None
+    def _resolve(self, name: str, spec: Union[str, Callable]) -> Callable:
         if isinstance(spec, str):
             module_name, _, attribute = spec.partition(":")
             try:
@@ -80,9 +107,41 @@ class FactoryRegistry:
                     f"{self.kind} {name!r} failed to load from "
                     f"{module_name}:{attribute}: {error}"
                 ) from error
-            self._entries[name] = spec
+        return spec
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under ``name`` (resolving lazy specs).
+
+        Names of the form ``"<prefix>:<inner>"`` where ``prefix`` is a
+        registered namespace resolve through the namespace wrapper:
+        ``wrapper(inner)`` builds the derived factory.
+        """
+        try:
+            spec = self._entries[name]
+        except KeyError:
+            prefix, separator, inner = name.partition(":") if isinstance(
+                name, str) else ("", "", "")
+            if separator and inner and prefix in self._namespaces:
+                wrapper = self._resolve(prefix, self._namespaces[prefix])
+                self._namespaces[prefix] = wrapper
+                return wrapper(inner)
+            raise self.error(
+                f"unknown {self.kind} {name!r}; available: "
+                f"{', '.join(self.available()) or '(none)'}"
+            ) from None
+        spec = self._resolve(name, spec)
+        self._entries[name] = spec
         return spec
 
     def available(self) -> Tuple[str, ...]:
-        """Registered names, sorted (the CLI derives choices from this)."""
-        return tuple(sorted(self._entries))
+        """Registered names, sorted (the CLI derives choices from this).
+
+        Namespaces expand over the base entries, so a ``cluster``
+        namespace over ``{"fifo", "slo"}`` contributes ``cluster:fifo``
+        and ``cluster:slo``.
+        """
+        names = set(self._entries)
+        for prefix in self._namespaces:
+            names.update(f"{prefix}:{base}" for base in self._entries
+                         if ":" not in base)
+        return tuple(sorted(names))

@@ -67,3 +67,8 @@ def create_scheduler(name: str, pool, policy, **kwargs):
 register_scheduler("fifo", "repro.sched.fifo:FifoScheduler")
 register_scheduler("slo", "repro.sched.slo:SLOScheduler")
 register_scheduler("adaptive", "repro.sched.adaptive:AdaptiveScheduler")
+
+# The cluster namespace derives a sharded variant of every base policy:
+# ``cluster:<inner>`` wraps N per-chip ``<inner>`` instances behind the
+# router front door (see repro.cluster.scheduler).
+_REGISTRY.register_namespace("cluster", "repro.cluster.scheduler:cluster_factory")

@@ -25,6 +25,7 @@ This package supplies the missing layer between the two:
 """
 
 from repro.serve.batcher import BatchPolicy, CoalescingBatcher, PolyBatch
+from repro.serve.config import ReplayConfig
 from repro.serve.metrics import (
     DropRecord,
     ServeReport,
@@ -43,7 +44,15 @@ from repro.serve.request import (
     kyber_polymul_request,
 )
 from repro.serve.simulator import ServingSimulator
-from repro.serve.workload import SCENARIOS, bursty_trace, poisson_trace
+from repro.serve.workload import (
+    SCENARIOS,
+    available_scenarios,
+    bursty_trace,
+    get_scenario,
+    poisson_trace,
+    register_scenario,
+    unregister_scenario,
+)
 
 __all__ = [
     "BatchPolicy",
@@ -52,19 +61,24 @@ __all__ = [
     "EnginePool",
     "PolyBatch",
     "PoolConfig",
+    "ReplayConfig",
     "Request",
     "Response",
     "SCENARIOS",
     "ServeReport",
     "ServingSimulator",
     "TenantStats",
+    "available_scenarios",
     "bursty_trace",
     "dilithium_ntt_request",
     "format_serve_report",
+    "get_scenario",
     "gold_result",
     "he_multiply_plain_requests",
     "he_multiply_requests",
     "kyber_polymul_request",
     "poisson_trace",
+    "register_scenario",
     "serialize_report",
+    "unregister_scenario",
 ]

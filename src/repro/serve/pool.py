@@ -30,7 +30,6 @@ derives from :func:`repro.backends.available_backends`.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -43,14 +42,6 @@ from repro.obs.tracer import NULL_TRACER, TraceEvent
 from repro.serve.batcher import PolyBatch
 from repro.sram.cost import CostReport
 from repro.sram.energy import TECH_45NM, TechnologyModel
-
-
-#: Shared deprecation text for the legacy ``mode=`` spelling of
-#: ``backend=`` (EnginePool.serve, ServingSimulator).
-MODE_DEPRECATION = (
-    "the mode= argument is deprecated, use backend=; "
-    "mode= will be removed in a future release"
-)
 
 
 def __getattr__(name: str):
@@ -259,13 +250,17 @@ class EnginePool:
 
         ``results`` is one coefficient list per live request, in batch
         order.  ``backend`` names any registered execution backend
-        (default ``"model"``); ``mode`` is the deprecated spelling of
-        the same knob (it warns, and an explicit ``backend`` wins).
-        All backends charge the same profile.
+        (default ``"model"``).  All backends charge the same profile.
         """
         if mode is not None:
-            warnings.warn(MODE_DEPRECATION, DeprecationWarning, stacklevel=2)
-        name = backend if backend is not None else (mode or "model")
+            # The alias warned as deprecated for two releases; the
+            # keyword survives only to point migrators at backend=.
+            raise TypeError(
+                "EnginePool.serve() no longer accepts mode=; "
+                "pass backend= (the mode= alias was removed after its "
+                "deprecation window)"
+            )
+        name = backend if backend is not None else "model"
         get_backend(name)  # raises BackendError when the name is unknown
         params_name, op, operand = batch.key
         if lane is None:

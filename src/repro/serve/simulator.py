@@ -20,7 +20,6 @@ per replay, so nothing accumulates between calls.
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ParameterError
@@ -28,7 +27,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
 from repro.serve.batcher import BatchPolicy, PolyBatch
 from repro.serve.metrics import BatchRecord, DropRecord, ServeReport, aggregate
-from repro.serve.pool import MODE_DEPRECATION, EnginePool
+from repro.serve.pool import EnginePool
 from repro.serve.request import Request, Response
 
 
@@ -41,12 +40,16 @@ class ServingSimulator:
                  scheduler_options: Optional[Dict[str, Any]] = None,
                  admission_gate: Optional[Callable[[Request], Optional[str]]] = None):
         if mode is not None:
-            warnings.warn(MODE_DEPRECATION, DeprecationWarning, stacklevel=2)
+            # The alias warned as deprecated for two releases; the
+            # keyword survives only to point migrators at backend=.
+            raise TypeError(
+                "ServingSimulator no longer accepts mode=; "
+                "pass backend= (the mode= alias was removed after its "
+                "deprecation window)"
+            )
         self.pool = pool
         self.policy = policy
-        # ``mode`` is the deprecated spelling of ``backend``; an explicit
-        # ``backend`` wins, matching EnginePool.serve's precedence.
-        self.backend = backend if backend is not None else (mode or "model")
+        self.backend = backend if backend is not None else "model"
         self.scheduler = scheduler
         self.scheduler_options = dict(scheduler_options or {})
         # Optional pre-admission gate (e.g. repro.check.HEDepthGate): a
@@ -55,17 +58,6 @@ class ServingSimulator:
         # for its ring) never occupy queue capacity.  ``None`` -> the
         # replay is byte-identical to the ungated path.
         self.admission_gate = admission_gate
-
-    @property
-    def mode(self) -> str:
-        """Deprecated alias for :attr:`backend`."""
-        warnings.warn(MODE_DEPRECATION, DeprecationWarning, stacklevel=2)
-        return self.backend
-
-    @mode.setter
-    def mode(self, value: str) -> None:
-        warnings.warn(MODE_DEPRECATION, DeprecationWarning, stacklevel=2)
-        self.backend = value
 
     def _make_scheduler(self):
         """A fresh scheduler per replay (schedulers hold queue state)."""

@@ -33,6 +33,13 @@ Scenario mixes (weights sum to 1):
   plaintext products and full ciphertext products (the deep workload):
   40% Kyber, 30% Dilithium, 15% HE-plain, 15% HE-mul.
 
+Scenarios live behind a :class:`~repro.registry.FactoryRegistry` (the
+same seam as backends and schedulers): :func:`register_scenario` /
+:func:`get_scenario` / :func:`available_scenarios`, with ``SCENARIOS``
+kept as a read-only live mapping view for existing callers.  Other
+packages register their own — ``cluster-mixed`` (the multi-chip
+routing mix) comes from :mod:`repro.cluster.workload`.
+
 ``polymul`` operands draw from a small per-scenario pool of fixed
 polynomials (public keys / plaintext operands are long-lived in real
 deployments), which is what lets the batcher coalesce products and the
@@ -49,11 +56,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.crypto.he import default_relin_base, relin_digit_count
 from repro.errors import ParameterError
 from repro.ntt.params import get_params
+from repro.registry import FactoryRegistry
 from repro.serve.request import Request
 
 
@@ -138,7 +146,7 @@ def _he_mul_component(weight: float, *, params_name: str = "he-16bit",
                         tenant=tenant, slo_ms=slo_ms)
 
 
-SCENARIOS: Dict[str, Scenario] = {
+_BUILTIN_SCENARIOS: Dict[str, Scenario] = {
     "ntt": Scenario("ntt", (
         MixComponent("ntt", "ntt", "table1-14bit", 1.0),
     )),
@@ -177,6 +185,80 @@ SCENARIOS: Dict[str, Scenario] = {
         _he_mul_component(0.15),
     )),
 }
+
+
+# -- scenario registry -------------------------------------------------------
+#
+# The same plugin seam as backends/schedulers: factories registered
+# under names, so new subsystems (e.g. repro.cluster) register their
+# scenarios instead of editing a hardcoded table, and the CLI derives
+# its --scenario choices from available_scenarios().
+
+_REGISTRY = FactoryRegistry("scenario", ParameterError)
+
+
+def register_scenario(name: str, factory: Union[str, Callable], *,
+                      replace: bool = False) -> None:
+    """Register a scenario factory under ``name``.
+
+    ``factory`` is a zero-argument callable returning a
+    :class:`Scenario` (or a lazy ``"module.path:attribute"`` spec for
+    one) — a factory rather than the scenario itself so registration
+    stays import-cheap.
+    """
+    _REGISTRY.register(name, factory, replace=replace)
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a scenario (no-op when absent); used by tests and plugins."""
+    _REGISTRY.unregister(name)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Build the scenario registered under ``name``."""
+    scenario = _REGISTRY.get(name)()
+    if not isinstance(scenario, Scenario):
+        raise ParameterError(
+            f"scenario factory {name!r} returned {type(scenario).__name__}, "
+            f"expected Scenario"
+        )
+    return scenario
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """Registered scenario names, sorted (the CLI's ``--scenario`` choices)."""
+    return _REGISTRY.available()
+
+
+for _name, _scenario in _BUILTIN_SCENARIOS.items():
+    _REGISTRY.register(_name, lambda scenario=_scenario: scenario)
+
+# Cluster traffic registers lazily from its own package, the way the
+# cluster:<inner> schedulers do — the serve layer stays cluster-free.
+_REGISTRY.register("cluster-mixed", "repro.cluster.workload:cluster_mixed")
+
+
+class _ScenarioView(Mapping):
+    """Read-only live mapping over the registry (the old ``SCENARIOS`` API)."""
+
+    def __getitem__(self, name: str) -> Scenario:
+        try:
+            return get_scenario(name)
+        except ParameterError:
+            raise KeyError(name) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in available_scenarios()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(available_scenarios())
+
+    def __len__(self) -> int:
+        return len(available_scenarios())
+
+
+#: Backwards-compatible mapping view; prefer the registry functions.
+SCENARIOS: Mapping[str, Scenario] = _ScenarioView()
 
 
 def _random_poly(n: int, q: int, rng: random.Random) -> Tuple[int, ...]:
@@ -297,7 +379,10 @@ def bursty_trace(scenario_name: str, rate: float, duration_s: float, *,
 
 def _get_scenario(name: str) -> Scenario:
     try:
-        return SCENARIOS[name]
-    except KeyError:
-        known = ", ".join(sorted(SCENARIOS))
-        raise ParameterError(f"unknown scenario {name!r}; known: {known}") from None
+        return get_scenario(name)
+    except ParameterError as error:
+        if "unknown scenario" not in str(error):
+            raise
+        known = ", ".join(available_scenarios())
+        raise ParameterError(
+            f"unknown scenario {name!r}; known: {known}") from None

@@ -41,7 +41,7 @@ class TestDiagnosticModel:
 
     def test_every_rule_family_is_cataloged(self):
         families = {rule.rstrip("0123456789") for rule in RULE_CATALOG}
-        assert families == {"PROG", "HE", "SCHED", "REG"}
+        assert families == {"PROG", "HE", "SCHED", "REG", "CLUSTER"}
 
 
 class TestRendering:

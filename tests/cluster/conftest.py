@@ -1,0 +1,84 @@
+"""Shared fixtures for the cluster tests: a tiny ring and the obs goldens.
+
+The tiny 16-point ring over q = 97 (mirroring ``tests/serve/conftest``)
+keeps 16-chip replays fast; the path hook makes the golden scenario
+builders in ``tests/obs/scenarios.py`` importable for the
+cluster-of-one byte-parity tests.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.ntt.params import STANDARD_PARAMS, NTTParams
+from repro.serve import EnginePool, PoolConfig
+from repro.serve.request import Request
+
+# Make `import scenarios` (the obs golden builders) work from here.
+_OBS_DIR = str(pathlib.Path(__file__).resolve().parent.parent / "obs")
+if _OBS_DIR not in sys.path:
+    sys.path.insert(0, _OBS_DIR)
+
+TINY_NAME = "tiny-cluster-test"
+TINY_N = 16
+TINY_Q = 97
+
+
+@pytest.fixture
+def tiny_name():
+    STANDARD_PARAMS[TINY_NAME] = NTTParams(n=TINY_N, q=TINY_Q,
+                                           name="tiny cluster ring")
+    yield TINY_NAME
+    STANDARD_PARAMS.pop(TINY_NAME, None)
+
+
+@pytest.fixture
+def tiny_pool(tiny_name):
+    # 32x32 subarray: 4 tiles of 8 columns -> batch 4, no spill.
+    return EnginePool(PoolConfig(size=2, rows=32, cols=32))
+
+
+@pytest.fixture
+def tiny_request(tiny_name):
+    """Factory for requests on the tiny ring."""
+
+    def make(request_id, *, op="ntt", arrival_s=0.0, operand=None,
+             payload=None, tenant="", kind="", deadline_s=None):
+        if payload is None:
+            payload = [(request_id * 7 + i) % TINY_Q for i in range(TINY_N)]
+        return Request(
+            request_id=request_id,
+            op=op,
+            params_name=TINY_NAME,
+            payload=tuple(payload),
+            operand=None if operand is None else tuple(operand),
+            arrival_s=arrival_s,
+            tenant=tenant,
+            kind=kind,
+            deadline_s=deadline_s,
+        )
+
+    return make
+
+
+@pytest.fixture
+def operand_trace(tiny_request):
+    """A mixed trace of pinnable polymul keys plus operand-less ntt."""
+
+    def make(count=60, *, operands=6, tenant_of=None, spacing_s=2e-4):
+        trace = []
+        for i in range(count):
+            tenant = tenant_of(i) if tenant_of is not None else f"t{i % 3}"
+            if i % 4 == 3:
+                trace.append(tiny_request(
+                    i, arrival_s=i * spacing_s, tenant=tenant))
+            else:
+                operand = tuple((i % operands + j * 3 + 1) % TINY_Q
+                                for j in range(TINY_N))
+                trace.append(tiny_request(
+                    i, op="polymul", operand=operand,
+                    arrival_s=i * spacing_s, tenant=tenant))
+        return trace
+
+    return make

@@ -1,0 +1,109 @@
+"""A cluster of one is the identity: byte-parity with the serve goldens.
+
+Every checked-in golden replay (``tests/obs/goldens``) re-runs here
+through ``scheduler="cluster:<inner>"`` with ``chips=1`` and must
+serialize byte-identically — namespacing (``id * 1 + 0``), routing
+(one live chip) and the report's ``scheduler`` field all collapse to
+the single-chip behavior.  This is the guarantee that lets the cluster
+tier ship without re-pinning a single golden.
+"""
+
+import pytest
+import scenarios as golden
+from scenarios import golden_path
+
+from repro.ntt.params import STANDARD_PARAMS, NTTParams
+from repro.obs import SLOTracer
+from repro.serve import (
+    BatchPolicy,
+    EnginePool,
+    PoolConfig,
+    ReplayConfig,
+    ServingSimulator,
+    bursty_trace,
+    poisson_trace,
+    serialize_report,
+)
+
+
+def tiny_cluster(tracer=None):
+    STANDARD_PARAMS[golden.TINY_NAME] = NTTParams(
+        n=golden.TINY_N, q=golden.TINY_Q, name="tiny obs golden ring")
+    try:
+        pool = EnginePool(PoolConfig(size=2, rows=32, cols=32))
+        sim = ServingSimulator(pool, BatchPolicy(max_wait_s=1e-3),
+                               scheduler="cluster:fifo",
+                               scheduler_options={"chips": 1})
+        return sim.replay(golden._tiny_trace(), tracer=tracer)
+    finally:
+        STANDARD_PARAMS.pop(golden.TINY_NAME, None)
+
+
+def kyber_cluster(tracer=None):
+    trace = poisson_trace("kyber", 2000.0, 0.02, seed=2023)
+    sim = ServingSimulator(EnginePool(PoolConfig(size=2)),
+                           BatchPolicy(max_wait_s=2e-3),
+                           scheduler="cluster:fifo",
+                           scheduler_options={"chips": 1})
+    return sim.replay(trace, tracer=tracer)
+
+
+def mixed_slo_cluster(tracer=None):
+    trace = bursty_trace("mixed-slo", 4000.0, 0.02, seed=7)
+    sim = ServingSimulator(
+        EnginePool(PoolConfig(size=2)), BatchPolicy(max_wait_s=2e-3),
+        scheduler="cluster:slo",
+        scheduler_options=dict(chips=1, queue_limit=64,
+                               tenant_weights={"handshake": 2.0}),
+    )
+    return sim.replay(trace, tracer=tracer)
+
+
+def overload_cluster(tracer=None):
+    sim = ServingSimulator(
+        EnginePool(PoolConfig(size=1)), BatchPolicy(max_wait_s=2e-3),
+        scheduler="cluster:slo",
+        scheduler_options=dict(chips=1, queue_limit=16,
+                               tenant_weights={"handshake": 2.0}),
+    )
+    return sim.replay(golden.overload_trace(),
+                      tracer=SLOTracer(golden.OVERLOAD_POLICY, inner=tracer))
+
+
+CLUSTER_BUILDERS = {
+    "tiny": tiny_cluster,
+    "kyber": kyber_cluster,
+    "mixed-slo": mixed_slo_cluster,
+    "overload": overload_cluster,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CLUSTER_BUILDERS))
+def test_cluster_of_one_matches_golden(name):
+    report = CLUSTER_BUILDERS[name]()
+    assert serialize_report(report) == golden_path(name).read_text().rstrip("\n"), (
+        f"{name}: a cluster of one diverged from the single-chip golden — "
+        "the chips=1 identity guarantee is broken"
+    )
+
+
+def test_cluster_of_one_reports_inner_scheduler_name():
+    # The serialized "scheduler" field must not leak the cluster: prefix
+    # on a cluster of one, or every golden would re-pin.
+    report = kyber_cluster()
+    assert report.scheduler == "fifo"
+
+
+def test_cluster_simulator_front_door_matches_golden():
+    # The same guarantee through the whole front door: ReplayConfig ->
+    # ClusterSimulator (which annotates per-chip gauges; the registry is
+    # excluded from serialization by design).
+    from repro.cluster import ClusterSimulator
+
+    config = ReplayConfig(scenario="kyber", rate=2000.0, duration=0.02,
+                          seed=2023, chips=1)
+    front_door = ClusterSimulator(config)
+    report = front_door.replay(config.build_trace())
+    assert serialize_report(report) == \
+        golden_path("kyber").read_text().rstrip("\n")
+    assert report.registry.gauge("cluster.chips").value == 1

@@ -107,25 +107,15 @@ class TestDerivedModes:
         finally:
             unregister_backend("echo-parity")
 
-    def test_legacy_mode_keyword_still_serves(self, tiny_pool, tiny_request):
-        batch = make_batch(tiny_request, [0, 1], "ntt")
-        with pytest.warns(DeprecationWarning):
-            results, _, _ = tiny_pool.serve(batch, mode="sram")
-        for request, result in zip(batch.requests, results):
-            assert list(result) == gold_result(request)
-
-    def test_explicit_backend_wins_over_mode_everywhere(self, tiny_pool):
+    def test_removed_mode_keyword_rejected_everywhere(self, tiny_pool,
+                                                      tiny_request):
         from repro.serve import BatchPolicy, ServingSimulator
 
-        with pytest.warns(DeprecationWarning):
-            simulator = ServingSimulator(tiny_pool, BatchPolicy(),
-                                         backend="model", mode="sram")
-        assert simulator.backend == "model"
-        with pytest.warns(DeprecationWarning):
-            assert simulator.mode == "model"
-        with pytest.warns(DeprecationWarning):
-            simulator.mode = "sram"  # deprecated attribute stays writable
-        assert simulator.backend == "sram"
+        batch = make_batch(tiny_request, [0, 1], "ntt")
+        with pytest.raises(TypeError, match="no longer accepts mode="):
+            tiny_pool.serve(batch, mode="sram")
+        with pytest.raises(TypeError, match="pass backend="):
+            ServingSimulator(tiny_pool, BatchPolicy(), mode="sram")
 
 
 class TestThirdPartyBackendSafety:

@@ -109,11 +109,10 @@ class TestServe:
         with pytest.raises(ParameterError, match="unknown backend"):
             tiny_pool.serve(batch, backend="hardware")
 
-    def test_unknown_legacy_mode_rejected(self, tiny_pool, tiny_request):
+    def test_removed_mode_keyword_rejected(self, tiny_pool, tiny_request):
         batch = make_batch(tiny_request, [0])
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ParameterError, match="unknown backend"):
-                tiny_pool.serve(batch, mode="hardware")
+        with pytest.raises(TypeError, match="pass backend="):
+            tiny_pool.serve(batch, mode="hardware")
 
     def test_oversized_batch_rejected(self, tiny_pool, tiny_request):
         batch = PolyBatch(key=tiny_request(0).batch_key, capacity=99)
@@ -128,21 +127,21 @@ class TestServe:
             tiny_pool.serve(batch, backend="model", lane=7)
 
 
-class TestModeDeprecation:
-    def test_serve_mode_warns(self, tiny_pool, tiny_request):
+class TestModeRemoved:
+    """The mode= alias finished its deprecation window and is gone."""
+
+    def test_serve_mode_raises_type_error(self, tiny_pool, tiny_request):
         batch = make_batch(tiny_request, [0])
-        with pytest.warns(DeprecationWarning, match="mode= argument is deprecated"):
+        with pytest.raises(TypeError, match="no longer accepts mode="):
             tiny_pool.serve(batch, mode="model", lane=0)
 
-    def test_serve_backend_wins_over_mode(self, tiny_pool, tiny_request):
-        # An explicit backend= takes precedence; the alias still warns.
+    def test_serve_mode_rejected_even_with_backend(self, tiny_pool,
+                                                   tiny_request):
+        # No silent precedence rules: mixing the removed keyword with
+        # backend= is an error, not a tie-break.
         batch = make_batch(tiny_request, [0])
-        with pytest.warns(DeprecationWarning):
-            results, profile, _ = tiny_pool.serve(
-                batch, backend="model", mode="no-such-backend", lane=0
-            )
-        assert list(results[0]) == gold_result(batch.requests[0])
-        assert profile is tiny_pool.profile(batch.key, backend="model")
+        with pytest.raises(TypeError, match="pass backend="):
+            tiny_pool.serve(batch, backend="model", mode="sram", lane=0)
 
     def test_serve_backend_alone_is_silent(self, tiny_pool, tiny_request,
                                            recwarn):

@@ -139,24 +139,21 @@ class TestDeterminism:
         assert repr(sim.replay(trace)) == repr(sim.replay(trace))
 
 
-class TestModeDeprecation:
-    def test_constructor_mode_warns_and_aliases(self, tiny_pool):
-        with pytest.warns(DeprecationWarning, match="mode= argument is deprecated"):
-            simulator = ServingSimulator(tiny_pool, mode="sram")
-        assert simulator.backend == "sram"
+class TestModeRemoved:
+    """The mode= alias finished its deprecation window and is gone."""
 
-    def test_constructor_backend_wins_over_mode(self, tiny_pool):
-        with pytest.warns(DeprecationWarning):
-            simulator = ServingSimulator(tiny_pool, backend="model", mode="sram")
-        assert simulator.backend == "model"
+    def test_constructor_mode_raises_type_error(self, tiny_pool):
+        with pytest.raises(TypeError, match="no longer accepts mode="):
+            ServingSimulator(tiny_pool, mode="sram")
 
-    def test_mode_property_warns_both_ways(self, tiny_pool):
+    def test_constructor_mode_rejected_even_with_backend(self, tiny_pool):
+        with pytest.raises(TypeError, match="pass backend="):
+            ServingSimulator(tiny_pool, backend="model", mode="sram")
+
+    def test_mode_property_is_gone(self, tiny_pool):
         simulator = ServingSimulator(tiny_pool, backend="model")
-        with pytest.warns(DeprecationWarning):
-            assert simulator.mode == "model"
-        with pytest.warns(DeprecationWarning):
-            simulator.mode = "sram"
-        assert simulator.backend == "sram"
+        with pytest.raises(AttributeError):
+            simulator.mode
 
     def test_backend_alone_is_silent(self, tiny_pool, tiny_request, recwarn):
         simulator = ServingSimulator(

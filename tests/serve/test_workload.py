@@ -19,7 +19,7 @@ class TestScenarios:
     def test_known_scenarios(self):
         assert set(SCENARIOS) == {
             "ntt", "kyber", "dilithium", "he", "he-mul", "mixed",
-            "mixed-slo", "mixed-deep",
+            "mixed-slo", "mixed-deep", "cluster-mixed",
         }
 
     def test_weights_validated(self):
@@ -30,6 +30,39 @@ class TestScenarios:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ParameterError, match="unknown scenario"):
             poisson_trace("no-such-mix", 100, 0.1)
+
+    def test_scenario_registry_round_trip(self):
+        from repro.serve import (
+            available_scenarios,
+            get_scenario,
+            register_scenario,
+            unregister_scenario,
+        )
+
+        custom = Scenario("custom-test", SCENARIOS["kyber"].components)
+        register_scenario("custom-test", lambda: custom)
+        try:
+            assert "custom-test" in available_scenarios()
+            assert get_scenario("custom-test") is custom
+            assert SCENARIOS["custom-test"] is custom  # mapping view tracks
+            trace = poisson_trace("custom-test", 400, 0.02, seed=1)
+            assert trace
+        finally:
+            unregister_scenario("custom-test")
+        assert "custom-test" not in available_scenarios()
+        assert "custom-test" not in SCENARIOS
+
+    def test_scenario_factory_must_build_a_scenario(self):
+        from repro.serve import register_scenario, unregister_scenario
+
+        register_scenario("broken-test", lambda: "not a scenario")
+        try:
+            from repro.serve import get_scenario
+
+            with pytest.raises(ParameterError, match="Scenario"):
+                get_scenario("broken-test")
+        finally:
+            unregister_scenario("broken-test")
 
     def test_operand_schedule_validated(self):
         with pytest.raises(ParameterError, match="requires polymul"):

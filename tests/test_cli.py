@@ -31,9 +31,30 @@ class TestParser:
         assert args.backend == "sram"
         assert args.max_batch == 4
 
-    def test_serve_mode_is_backend_alias(self):
-        args = build_parser().parse_args(["serve", "--mode", "sram"])
-        assert args.backend == "sram"
+    def test_serve_mode_flag_removed(self):
+        # The --mode spelling finished its deprecation window.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--mode", "sram"])
+
+    def test_serve_cluster_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--chips", "4", "--router", "round-robin"])
+        assert args.chips == 4
+        assert args.router == "round-robin"
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.chips == 1
+        assert defaults.router == "affinity"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--router", "no-such"])
+
+    def test_serve_scenario_choices_track_registry(self):
+        from repro.serve import available_scenarios
+
+        for name in available_scenarios():
+            args = build_parser().parse_args(["serve", "--scenario", name])
+            assert args.scenario == name
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scenario", "no-such"])
 
     def test_serve_scheduler_flags(self):
         args = build_parser().parse_args(
